@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCNF(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.cnf")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSat(t *testing.T) {
+	path := writeCNF(t, "p cnf 3 2\n1 -2 0\n2 3 0\n")
+	var out bytes.Buffer
+	code, err := run([]string{"-input", path, "-stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 10 {
+		t.Errorf("exit code %d, want 10", code)
+	}
+	text := out.String()
+	if !strings.Contains(text, "s SATISFIABLE") || !strings.Contains(text, "\nv ") {
+		t.Errorf("output:\n%s", text)
+	}
+	if !strings.Contains(text, "c conflicts") {
+		t.Errorf("stats missing:\n%s", text)
+	}
+}
+
+func TestRunUnsat(t *testing.T) {
+	path := writeCNF(t, "p cnf 1 2\n1 0\n-1 0\n")
+	var out bytes.Buffer
+	code, err := run([]string{"-input", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 20 || !strings.Contains(out.String(), "s UNSATISFIABLE") {
+		t.Errorf("code %d output:\n%s", code, out.String())
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	path := writeCNF(t, "p cnf 2 1\n1 2 0\n")
+	var out bytes.Buffer
+	if _, err := run([]string{"-input", path, "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "\nv ") {
+		t.Errorf("quiet printed a model:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"missing input", nil},
+		{"nonexistent", []string{"-input", "/no/such/file"}},
+		{"malformed", []string{"-input", writeCNF(t, "garbage\n")}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if _, err := run(tt.args, &out); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+// Command ftbench regenerates every table and figure of the paper's
+// evaluation, plus the ablation experiments listed in DESIGN.md
+// (experiment ids E1–E9). Output is aligned text suitable for diffing
+// against EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ftbench -exp all
+//	ftbench -exp e4 -sizes 50,100,500,1000 -timeout 60s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type params struct {
+	sizes   []int
+	seed    int64
+	timeout time.Duration
+}
+
+type experiment struct {
+	id    string
+	title string
+	run   func(ctx context.Context, w io.Writer, p params) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"e1", "Fig. 1 / §II — FPS example MPMCS", runE1},
+		{"e2", "Table I — probabilities and −log weights", runE2},
+		{"e3", "Fig. 2 — JSON solution document", runE3},
+		{"e4", "§IV — scalability to thousands of nodes", runE4},
+		{"e5", "§III Step 5 — portfolio vs single engines", runE5},
+		{"e6", "§IV future work — MaxSAT vs BDD baseline", runE6},
+		{"e7", "§IV future work — native voting gates vs expansion", runE7},
+		{"e8", "§III Step 2 — Tseitin vs Plaisted-Greenbaum", runE8},
+		{"e9", "§IV fault prioritisation — top-k ranked cut sets", runE9},
+		{"e10", "extension — bottom-up vs BDD top-event probability", runE10},
+		{"e11", "validation — Monte-Carlo vs analytic probabilities", runE11},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
+	var (
+		expFlag  = fs.String("exp", "all", "comma-separated experiment ids (e1..e9) or 'all'")
+		sizes    = fs.String("sizes", "50,100,500,1000,2000,5000", "tree sizes (basic events) for scaling experiments")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "per-instance timeout")
+		listFlag = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listFlag {
+		for _, e := range experiments() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.id, e.title)
+		}
+		return nil
+	}
+
+	p := params{seed: *seed, timeout: *timeout}
+	for _, tok := range strings.Split(*sizes, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 2 {
+			return fmt.Errorf("bad size %q", tok)
+		}
+		p.sizes = append(p.sizes, n)
+	}
+
+	want := make(map[string]bool)
+	if *expFlag == "all" {
+		for _, e := range experiments() {
+			want[e.id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ctx := context.Background()
+	ran := 0
+	for _, e := range experiments() {
+		if !want[e.id] {
+			continue
+		}
+		ran++
+		fmt.Fprintf(stdout, "== %s: %s ==\n", strings.ToUpper(e.id), e.title)
+		if err := e.run(ctx, stdout, p); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", *expFlag)
+	}
+	return nil
+}

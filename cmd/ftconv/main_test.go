@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpmcs4fta"
+)
+
+const sampleText = `
+tree Sample
+top t
+event a 0.1
+event b 0.2
+event c 0.3
+gate g 2of3 a b c
+gate t or g a
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tree.txt")
+	if err := os.WriteFile(path, []byte(sampleText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertTextToJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-input", writeSample(t), "-to", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := mpmcs4fta.LoadTreeJSON(&out)
+	if err != nil {
+		t.Fatalf("output is not loadable JSON: %v", err)
+	}
+	if tree.NumEvents() != 3 || tree.Gate("g").K != 2 {
+		t.Errorf("conversion lost structure: %d events", tree.NumEvents())
+	}
+}
+
+func TestConvertJSONToText(t *testing.T) {
+	// First produce JSON, then convert back.
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "tree.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-input", writeSample(t), "-to", "json", "-output", jsonPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-input", jsonPath, "-to", "text"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := mpmcs4fta.LoadTreeText(&out)
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if tree.Name() != "Sample" {
+		t.Errorf("name = %q", tree.Name())
+	}
+}
+
+func TestConvertDot(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-input", writeSample(t), "-to", "dot", "-probabilities"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph", "2/3", "p=0.1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("DOT missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-input", writeSample(t), "-to", "stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"events", "3", "voting 1", "minimal cut sets"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	sample := writeSample(t)
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"missing input", nil},
+		{"unknown to", []string{"-input", sample, "-to", "yaml"}},
+		{"unknown from", []string{"-input", sample, "-from", "yaml"}},
+		{"nonexistent", []string{"-input", "/no/such/file"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpmcs4fta"
+)
+
+func TestRunGeneratesValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-events", "40", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := mpmcs4fta.LoadTreeJSON(&out)
+	if err != nil {
+		t.Fatalf("generated JSON does not load: %v", err)
+	}
+	if tree.NumEvents() != 40 {
+		t.Errorf("got %d events", tree.NumEvents())
+	}
+}
+
+func TestRunGeneratesValidText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-events", "25", "-seed", "5", "-format", "text", "-voting", "0.3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := mpmcs4fta.LoadTreeText(&out)
+	if err != nil {
+		t.Fatalf("generated text does not load: %v", err)
+	}
+	if tree.NumEvents() != 25 {
+		t.Errorf("got %d events", tree.NumEvents())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-events", "30", "-seed", "11"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-events", "30", "-seed", "11"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+	var c bytes.Buffer
+	if err := run([]string{"-events", "30", "-seed", "12"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.json")
+	var out bytes.Buffer
+	if err := run([]string{"-events", "10", "-output", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"events\"") {
+		t.Errorf("file content unexpected: %s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"too few events", []string{"-events", "1"}},
+		{"bad format", []string{"-format", "xml"}},
+		{"bad probability range", []string{"-minprob", "0.5", "-maxprob", "0.1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

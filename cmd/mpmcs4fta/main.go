@@ -1,0 +1,220 @@
+// Command mpmcs4fta reproduces the paper's open-source tool: it reads a
+// fault tree, computes the Maximum Probability Minimal Cut Set via the
+// MaxSAT pipeline (or the BDD baseline), and writes the solution as a
+// JSON document. Optionally it emits a Graphviz rendering with the
+// MPMCS highlighted — the offline counterpart of the paper's Fig. 2
+// browser view.
+//
+// Usage:
+//
+//	mpmcs4fta -input tree.json [-format json|text] [-topk N] [-disjoint]
+//	          [-engine portfolio|bdd] [-sequential] [-timeout 30s] [-pg]
+//	          [-output out.json] [-dot out.dot] [-wcnf out.wcnf] [-report]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mpmcs4fta"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpmcs4fta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mpmcs4fta", flag.ContinueOnError)
+	var (
+		input      = fs.String("input", "", "fault tree file (required)")
+		format     = fs.String("format", "", "input format: json or text (default: by extension)")
+		output     = fs.String("output", "", "solution output file (default: stdout)")
+		dotFile    = fs.String("dot", "", "write a Graphviz rendering with the MPMCS highlighted")
+		topK       = fs.Int("topk", 1, "number of ranked cut sets to compute")
+		engine     = fs.String("engine", "portfolio", "solving engine: portfolio or bdd")
+		sequential = fs.Bool("sequential", false, "run portfolio engines sequentially (deterministic)")
+		timeout    = fs.Duration("timeout", 0, "overall analysis timeout (0 = none)")
+		pg         = fs.Bool("pg", false, "use the Plaisted-Greenbaum CNF encoding")
+		wcnfFile   = fs.String("wcnf", "", "also export the Step-4 MaxSAT instance in DIMACS WCNF format")
+		report     = fs.Bool("report", false, "emit a full FTA report (P(top), SPOFs, cut-set count, importance measures) around the solution")
+		disjoint   = fs.Bool("disjoint", false, "with -topk: enumerate event-disjoint cut sets (independent failure modes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *input == "" {
+		fs.Usage()
+		return fmt.Errorf("-input is required")
+	}
+	if *topK < 1 {
+		return fmt.Errorf("-topk must be positive")
+	}
+
+	tree, err := loadTree(*input, *format)
+	if err != nil {
+		return err
+	}
+
+	opts := mpmcs4fta.Options{
+		Sequential:        *sequential,
+		PlaistedGreenbaum: *pg,
+		Timeout:           *timeout,
+	}
+
+	if *wcnfFile != "" {
+		steps, err := mpmcs4fta.BuildSteps(tree, opts)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*wcnfFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := steps.Instance.WriteWCNF(f); err != nil {
+			return err
+		}
+	}
+
+	var solutions []*mpmcs4fta.Solution
+	switch *engine {
+	case "portfolio":
+		if *disjoint {
+			solutions, err = mpmcs4fta.AnalyzeDisjoint(context.Background(), tree, *topK, opts)
+		} else {
+			solutions, err = mpmcs4fta.AnalyzeTopK(context.Background(), tree, *topK, opts)
+		}
+	case "bdd":
+		if *disjoint {
+			return fmt.Errorf("-disjoint requires -engine portfolio")
+		}
+		solutions, err = mpmcs4fta.AnalyzeTopKBDD(tree, *topK, opts)
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		return err
+	}
+
+	out := stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	switch {
+	case *report:
+		doc, rerr := buildReport(tree, solutions)
+		if rerr != nil {
+			return rerr
+		}
+		err = enc.Encode(doc)
+	case *topK == 1:
+		err = enc.Encode(solutions[0])
+	default:
+		err = enc.Encode(solutions)
+	}
+	if err != nil {
+		return fmt.Errorf("encode solution: %w", err)
+	}
+
+	if *dotFile != "" {
+		highlight := make(map[string]bool)
+		for _, e := range solutions[0].MPMCS {
+			highlight[e.ID] = true
+		}
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tree.WriteDot(f, mpmcs4fta.DotOptions{
+			Highlight:         highlight,
+			ShowProbabilities: true,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ftaReport is the extended output of -report: the ranked solutions in
+// context of the classical quantitative measures.
+type ftaReport struct {
+	Solutions           []*mpmcs4fta.Solution  `json:"solutions"`
+	TopEventProbability float64                `json:"topEventProbability"`
+	MinimalCutSets      int64                  `json:"minimalCutSets"`
+	SPOFs               []string               `json:"singlePointsOfFailure"`
+	Importance          []mpmcs4fta.Importance `json:"importance"`
+	Modules             []string               `json:"modules"`
+}
+
+func buildReport(tree *mpmcs4fta.Tree, solutions []*mpmcs4fta.Solution) (*ftaReport, error) {
+	top, err := mpmcs4fta.TopEventProbability(tree)
+	if err != nil {
+		return nil, err
+	}
+	count, err := mpmcs4fta.CountMinimalCutSets(tree)
+	if err != nil {
+		return nil, err
+	}
+	spofs, err := mpmcs4fta.SinglePointsOfFailure(tree)
+	if err != nil {
+		return nil, err
+	}
+	measures, err := mpmcs4fta.ImportanceMeasures(tree)
+	if err != nil {
+		return nil, err
+	}
+	modules, err := mpmcs4fta.Modules(tree)
+	if err != nil {
+		return nil, err
+	}
+	if spofs == nil {
+		spofs = []string{}
+	}
+	return &ftaReport{
+		Solutions:           solutions,
+		TopEventProbability: top,
+		MinimalCutSets:      count,
+		SPOFs:               spofs,
+		Importance:          measures,
+		Modules:             modules,
+	}, nil
+}
+
+func loadTree(path, format string) (*mpmcs4fta.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if format == "" {
+		if strings.HasSuffix(path, ".json") {
+			format = "json"
+		} else {
+			format = "text"
+		}
+	}
+	switch format {
+	case "json":
+		return mpmcs4fta.LoadTreeJSON(f)
+	case "text":
+		return mpmcs4fta.LoadTreeText(f)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}

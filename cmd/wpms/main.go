@@ -1,0 +1,139 @@
+// Command wpms is a standalone Weighted Partial MaxSAT solver over
+// DIMACS WCNF files, exposing the library's solver portfolio outside
+// the fault-tree pipeline. Output follows the MaxSAT-evaluation
+// conventions: "c" comments, "o <cost>" for the optimum, "s" for the
+// status line, and "v" for the model.
+//
+// Usage:
+//
+//	wpms -input instance.wcnf [-engine portfolio|wmsu1|linear-su|branch-bound]
+//	     [-timeout 60s] [-quiet]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/maxsat"
+	"mpmcs4fta/internal/portfolio"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wpms:", err)
+	}
+	os.Exit(code)
+}
+
+// run executes the solver and returns the process exit code following
+// MaxSAT-evaluation conventions: 0 unknown/error, 30 optimum found,
+// 20 unsatisfiable.
+func run(args []string, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wpms", flag.ContinueOnError)
+	var (
+		input   = fs.String("input", "", "WCNF instance file (required)")
+		engine  = fs.String("engine", "portfolio", "engine: portfolio, wmsu1, linear-su or branch-bound")
+		timeout = fs.Duration("timeout", 0, "solve timeout (0 = none)")
+		quiet   = fs.Bool("quiet", false, "suppress the v (model) line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if *input == "" {
+		fs.Usage()
+		return 0, fmt.Errorf("-input is required")
+	}
+
+	f, err := os.Open(*input)
+	if err != nil {
+		return 0, err
+	}
+	inst, err := cnf.ReadWCNFAuto(f)
+	f.Close()
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(stdout, "c wpms: %d vars, %d hard, %d soft, top weight %d\n",
+		inst.NumVars, len(inst.Hard), len(inst.Soft), inst.TotalSoftWeight()+1)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	var (
+		res    maxsat.Result
+		winner string
+	)
+	if *engine == "portfolio" {
+		var report portfolio.Report
+		res, report, err = portfolio.Solve(ctx, inst, portfolio.DefaultEngines())
+		winner = report.Winner
+	} else {
+		solver, serr := engineByName(*engine)
+		if serr != nil {
+			return 0, serr
+		}
+		res, err = solver.Solve(ctx, inst)
+		winner = solver.Name()
+	}
+	if err != nil {
+		fmt.Fprintln(stdout, "s UNKNOWN")
+		return 0, err
+	}
+	fmt.Fprintf(stdout, "c solved by %s in %v\n", winner, time.Since(start).Round(time.Microsecond))
+
+	switch res.Status {
+	case maxsat.Infeasible:
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		return 20, nil
+	case maxsat.Optimal:
+		fmt.Fprintf(stdout, "o %d\n", res.Cost)
+		fmt.Fprintln(stdout, "s OPTIMUM FOUND")
+		if !*quiet {
+			fmt.Fprintln(stdout, "v "+modelLine(res.Model, inst.NumVars))
+		}
+		return 30, nil
+	default:
+		fmt.Fprintln(stdout, "s UNKNOWN")
+		return 0, nil
+	}
+}
+
+func engineByName(name string) (maxsat.Solver, error) {
+	switch name {
+	case "wmsu1":
+		return &maxsat.WMSU1{}, nil
+	case "linear-su":
+		return &maxsat.LinearSU{}, nil
+	case "branch-bound":
+		return &maxsat.BranchBound{}, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+func modelLine(model []bool, numVars int) string {
+	var b strings.Builder
+	for v := 1; v <= numVars; v++ {
+		if v > 1 {
+			b.WriteByte(' ')
+		}
+		if v < len(model) && model[v] {
+			b.WriteString(fmt.Sprint(v))
+		} else {
+			b.WriteString(fmt.Sprint(-v))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+// Commoncause shows why redundancy claims need common-cause analysis:
+// a 2-of-3 redundant sensor array looks extremely reliable until a
+// beta-factor CCF group couples the channels, at which point the shared
+// failure mode dominates both P(top) and the MPMCS.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"mpmcs4fta"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildArray() (*mpmcs4fta.Tree, error) {
+	t := mpmcs4fta.NewTree("SensorArray")
+	for _, id := range []string{"sensor-a", "sensor-b", "sensor-c"} {
+		if err := t.AddEventDesc(id, "Sensor channel fails", 0.01); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.AddEventDesc("logic", "Voter logic fails", 1e-4); err != nil {
+		return nil, err
+	}
+	if err := t.AddVoting("majority", 2, "sensor-a", "sensor-b", "sensor-c"); err != nil {
+		return nil, err
+	}
+	if err := t.AddOr("top", "majority", "logic"); err != nil {
+		return nil, err
+	}
+	t.SetTop("top")
+	return t, nil
+}
+
+func report(label string, tree *mpmcs4fta.Tree) error {
+	ctx := context.Background()
+	p, err := mpmcs4fta.TopEventProbability(tree)
+	if err != nil {
+		return err
+	}
+	sol, err := mpmcs4fta.Analyze(ctx, tree, mpmcs4fta.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s P(top) = %-10.3g MPMCS = %-28s p = %.3g\n",
+		label, p, strings.Join(sol.CutSetIDs(), ","), sol.Probability)
+	return nil
+}
+
+func run() error {
+	independent, err := buildArray()
+	if err != nil {
+		return err
+	}
+	if err := report("independent:", independent); err != nil {
+		return err
+	}
+
+	for _, beta := range []float64{0.01, 0.05, 0.1} {
+		tree, err := buildArray()
+		if err != nil {
+			return err
+		}
+		group, err := tree.CCFGroupsFromPrefix("sensor-", beta)
+		if err != nil {
+			return err
+		}
+		coupled, err := mpmcs4fta.ApplyCCF(tree, []mpmcs4fta.CCFGroup{group})
+		if err != nil {
+			return err
+		}
+		if err := report(fmt.Sprintf("beta = %.2f:", beta), coupled); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: with independent channels the most likely failure is a")
+	fmt.Println("sensor pair (1e-4). A beta-factor of just 0.05 makes the shared")
+	fmt.Println("failure mode 5x more likely than any pair, and P(top) more than")
+	fmt.Println("doubles — the redundancy claim silently rested on independence.")
+	return nil
+}

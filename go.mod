@@ -1,0 +1,3 @@
+module mpmcs4fta
+
+go 1.22

@@ -1,0 +1,270 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpmcs4fta/internal/boolexpr"
+)
+
+func fpsExpr() boolexpr.Expr {
+	return boolexpr.NewOr(
+		boolexpr.NewAnd(boolexpr.V("x1"), boolexpr.V("x2")),
+		boolexpr.NewOr(
+			boolexpr.V("x3"),
+			boolexpr.V("x4"),
+			boolexpr.NewAnd(boolexpr.V("x5"), boolexpr.NewOr(boolexpr.V("x6"), boolexpr.V("x7"))),
+		),
+	)
+}
+
+var fpsProbs = map[string]float64{
+	"x1": 0.2, "x2": 0.1, "x3": 0.001, "x4": 0.002,
+	"x5": 0.05, "x6": 0.1, "x7": 0.05,
+}
+
+func TestNewManagerDuplicateVar(t *testing.T) {
+	if _, err := NewManager([]string{"a", "a"}); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+}
+
+func TestVarUnknown(t *testing.T) {
+	m, err := NewManager([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Var("zz"); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+func TestBasicOperations(t *testing.T) {
+	m, err := NewManager([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Var("a")
+	b, _ := m.Var("b")
+
+	and := m.And(a, b)
+	or := m.Or(a, b)
+	notA := m.Not(a)
+
+	tests := []struct {
+		name   string
+		f      Ref
+		assign map[string]bool
+		want   bool
+	}{
+		{"and tt", and, map[string]bool{"a": true, "b": true}, true},
+		{"and tf", and, map[string]bool{"a": true}, false},
+		{"or ft", or, map[string]bool{"b": true}, true},
+		{"or ff", or, map[string]bool{}, false},
+		{"not f", notA, map[string]bool{}, true},
+		{"not t", notA, map[string]bool{"a": true}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.Eval(tt.f, tt.assign); got != tt.want {
+				t.Errorf("Eval = %v, want %v", got, tt.want)
+			}
+		})
+	}
+
+	// Canonicity: equal functions share node ids.
+	if m.And(a, b) != and || m.Or(b, a) != or {
+		t.Error("hash consing failed for repeated operations")
+	}
+	if m.Not(m.Not(a)) != a {
+		t.Error("double negation is not identity")
+	}
+	if m.And(a, m.Not(a)) != False || m.Or(a, m.Not(a)) != True {
+		t.Error("complement laws fail")
+	}
+}
+
+func TestFromExprAgainstEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	cfg := boolexpr.DefaultRandomConfig()
+	cfg.NumVars = 6
+	cfg.AllowConst = true
+	order := []string{"v0", "v1", "v2", "v3", "v4", "v5"}
+	for trial := 0; trial < 150; trial++ {
+		e := boolexpr.Random(rng, cfg)
+		m, err := NewManager(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.FromExpr(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boolexpr.AllAssignments(order, func(assign map[string]bool) bool {
+			if m.Eval(f, assign) != e.Eval(assign) {
+				t.Fatalf("trial %d: BDD and expression disagree under %v for %v", trial, assign, e)
+			}
+			return true
+		})
+	}
+}
+
+func TestAtLeastBDD(t *testing.T) {
+	order := []string{"a", "b", "c", "d"}
+	m, err := NewManager(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]Ref, 4)
+	for i, name := range order {
+		refs[i], _ = m.Var(name)
+	}
+	for k := 0; k <= 5; k++ {
+		f := m.AtLeast(k, refs)
+		boolexpr.AllAssignments(order, func(assign map[string]bool) bool {
+			count := 0
+			for _, name := range order {
+				if assign[name] {
+					count++
+				}
+			}
+			if m.Eval(f, assign) != (count >= k) {
+				t.Fatalf("atleast(%d) wrong under %v", k, assign)
+			}
+			return true
+		})
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m, _ := NewManager([]string{"a", "b"})
+	a, _ := m.Var("a")
+	b, _ := m.Var("b")
+	f := m.And(a, b)
+	r, err := m.Restrict(f, "a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != b {
+		t.Error("restrict(a&b, a=1) should equal b")
+	}
+	r, _ = m.Restrict(f, "a", false)
+	if r != False {
+		t.Error("restrict(a&b, a=0) should be false")
+	}
+	if _, err := m.Restrict(f, "zz", true); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+// expectedProbability computes P[e] by exhaustive weighted enumeration.
+func expectedProbability(e boolexpr.Expr, vars []string, probs map[string]float64) float64 {
+	total := 0.0
+	boolexpr.AllAssignments(vars, func(assign map[string]bool) bool {
+		if !e.Eval(assign) {
+			return true
+		}
+		p := 1.0
+		for _, v := range vars {
+			if assign[v] {
+				p *= probs[v]
+			} else {
+				p *= 1 - probs[v]
+			}
+		}
+		total += p
+		return true
+	})
+	return total
+}
+
+func TestProbabilityFPS(t *testing.T) {
+	vars := []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+	m, err := NewManager(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.FromExpr(fpsExpr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Probability(f, fpsProbs)
+	want := expectedProbability(fpsExpr(), vars, fpsProbs)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Probability = %v, want %v", got, want)
+	}
+}
+
+func TestProbabilityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	cfg := boolexpr.DefaultRandomConfig()
+	cfg.NumVars = 5
+	order := []string{"v0", "v1", "v2", "v3", "v4"}
+	for trial := 0; trial < 60; trial++ {
+		e := boolexpr.Random(rng, cfg)
+		probs := make(map[string]float64, len(order))
+		for _, v := range order {
+			probs[v] = rng.Float64()
+		}
+		m, _ := NewManager(order)
+		f, err := m.FromExpr(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Probability(f, probs)
+		want := expectedProbability(e, order, probs)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Probability = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m, _ := NewManager([]string{"a", "b", "c"})
+	a, _ := m.Var("a")
+	b, _ := m.Var("b")
+	tests := []struct {
+		name string
+		f    Ref
+		want float64
+	}{
+		{"true", True, 8},
+		{"false", False, 0},
+		{"var", a, 4},
+		{"and", m.And(a, b), 2},
+		{"or", m.Or(a, b), 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.SatCount(tt.f); got != tt.want {
+				t.Errorf("SatCount = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	m, _ := NewManager([]string{"a", "b"})
+	a, _ := m.Var("a")
+	b, _ := m.Var("b")
+	if n := m.CountNodes(m.And(a, b)); n != 2 {
+		t.Errorf("CountNodes(a&b) = %d, want 2", n)
+	}
+	if n := m.CountNodes(True); n != 0 {
+		t.Errorf("CountNodes(true) = %d, want 0", n)
+	}
+	if m.NumNodes() < 4 {
+		t.Errorf("NumNodes = %d", m.NumNodes())
+	}
+}
+
+func TestOrderCopied(t *testing.T) {
+	order := []string{"a", "b"}
+	m, _ := NewManager(order)
+	got := m.Order()
+	got[0] = "zzz"
+	if m.Order()[0] != "a" {
+		t.Error("Order exposes internal storage")
+	}
+}

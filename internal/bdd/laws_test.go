@@ -1,0 +1,158 @@
+package bdd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpmcs4fta/internal/boolexpr"
+)
+
+// genRefs is a quick.Generator producing a manager with two random
+// functions over a fixed variable set.
+type genRefs struct {
+	M    *Manager
+	F, G Ref
+}
+
+// Generate implements quick.Generator.
+func (genRefs) Generate(r *rand.Rand, _ int) reflect.Value {
+	order := []string{"v0", "v1", "v2", "v3", "v4"}
+	m, err := NewManager(order)
+	if err != nil {
+		panic(err)
+	}
+	cfg := boolexpr.RandomConfig{NumVars: 5, MaxDepth: 4, MaxFanIn: 3, AllowNot: true, AllowAtLeast: true}
+	f, err := m.FromExpr(boolexpr.Random(r, cfg))
+	if err != nil {
+		panic(err)
+	}
+	g, err := m.FromExpr(boolexpr.Random(r, cfg))
+	if err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(genRefs{M: m, F: f, G: g})
+}
+
+func bddQuickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(151))}
+}
+
+// TestQuickBooleanLaws: canonical BDDs make algebraic laws literal
+// pointer equalities.
+func TestQuickBooleanLaws(t *testing.T) {
+	property := func(g genRefs) bool {
+		m, f, h := g.M, g.F, g.G
+		if m.And(f, h) != m.And(h, f) {
+			return false // commutativity
+		}
+		if m.Or(f, h) != m.Or(h, f) {
+			return false
+		}
+		if m.And(f, f) != f || m.Or(f, f) != f {
+			return false // idempotence
+		}
+		if m.And(f, m.Or(f, h)) != f {
+			return false // absorption
+		}
+		if m.Or(f, m.And(f, h)) != f {
+			return false
+		}
+		if m.Not(m.And(f, h)) != m.Or(m.Not(f), m.Not(h)) {
+			return false // De Morgan
+		}
+		if m.And(f, m.Not(f)) != False || m.Or(f, m.Not(f)) != True {
+			return false // complement
+		}
+		if m.ITE(f, h, h) != h {
+			return false // redundant test
+		}
+		return true
+	}
+	if err := quick.Check(property, bddQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickShannonExpansion: f = (x ∧ f|x=1) ∨ (¬x ∧ f|x=0) for every
+// variable.
+func TestQuickShannonExpansion(t *testing.T) {
+	property := func(g genRefs) bool {
+		m, f := g.M, g.F
+		for _, name := range m.Order() {
+			x, err := m.Var(name)
+			if err != nil {
+				return false
+			}
+			hi, err := m.Restrict(f, name, true)
+			if err != nil {
+				return false
+			}
+			lo, err := m.Restrict(f, name, false)
+			if err != nil {
+				return false
+			}
+			rebuilt := m.Or(m.And(x, hi), m.And(m.Not(x), lo))
+			if rebuilt != f {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, bddQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProbabilityBounds: probabilities stay in [0,1] and respect
+// union/intersection bounds.
+func TestQuickProbabilityBounds(t *testing.T) {
+	property := func(g genRefs, seed int64) bool {
+		m := g.M
+		rng := rand.New(rand.NewSource(seed))
+		probs := make(map[string]float64)
+		for _, v := range m.Order() {
+			probs[v] = rng.Float64()
+		}
+		pf := m.Probability(g.F, probs)
+		pg := m.Probability(g.G, probs)
+		pAnd := m.Probability(m.And(g.F, g.G), probs)
+		pOr := m.Probability(m.Or(g.F, g.G), probs)
+		const eps = 1e-9
+		if pf < -eps || pf > 1+eps {
+			return false
+		}
+		if pAnd > pf+eps || pAnd > pg+eps {
+			return false
+		}
+		if pOr < pf-eps || pOr < pg-eps {
+			return false
+		}
+		// Inclusion-exclusion, exact for BDD probabilities.
+		return abs(pOr-(pf+pg-pAnd)) < 1e-9
+	}
+	if err := quick.Check(property, bddQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestQuickSatCountConsistency: SatCount(f) + SatCount(¬f) covers the
+// whole space.
+func TestQuickSatCountConsistency(t *testing.T) {
+	property := func(g genRefs) bool {
+		m := g.M
+		total := float64(int64(1) << uint(len(m.Order())))
+		return m.SatCount(g.F)+m.SatCount(m.Not(g.F)) == total
+	}
+	if err := quick.Check(property, bddQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package bdd
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// RankedSet is one entry of a ZTopSets enumeration.
+type RankedSet struct {
+	Set  []string
+	Prob float64
+}
+
+// ZTopSets returns the k highest-probability sets of the family in
+// exact descending order (ties broken arbitrarily but
+// deterministically). It runs best-first search over the ZDD guided by
+// the exact completion bound from a ZBestSet-style DP, so the cost is
+// O(k · depth · log frontier) after one O(nodes) pass — no enumeration
+// of the whole family.
+func (m *Manager) ZTopSets(f ZRef, probs map[string]float64, k int) []RankedSet {
+	if k <= 0 || f == ZEmpty {
+		return nil
+	}
+
+	// best[g] = maximum achievable probability from node g downwards.
+	best := make(map[ZRef]float64)
+	var bound func(ZRef) float64
+	bound = func(g ZRef) float64 {
+		switch g {
+		case ZEmpty:
+			return math.Inf(-1)
+		case ZBase:
+			return 1
+		}
+		if b, ok := best[g]; ok {
+			return b
+		}
+		n := m.znodes[g]
+		b := math.Max(bound(ZRef(n.lo)), bound(ZRef(n.hi))*probs[m.order[n.level]])
+		best[g] = b
+		return b
+	}
+	bound(f)
+
+	// Best-first search: a state is a position in the ZDD plus the
+	// variables chosen so far; priority = prefix probability × bound.
+	type state struct {
+		node   ZRef
+		prefix float64
+		chosen []string
+	}
+	pq := &rankedQueue{}
+	push := func(s state) {
+		var b float64
+		switch s.node {
+		case ZEmpty:
+			return
+		case ZBase:
+			b = 1
+		default:
+			b = best[s.node]
+		}
+		heap.Push(pq, rankedItem{state: s, priority: s.prefix * b})
+	}
+	push(state{node: f, prefix: 1})
+
+	var out []RankedSet
+	for pq.Len() > 0 && len(out) < k {
+		item := heap.Pop(pq).(rankedItem)
+		s := item.state.(state)
+		if s.node == ZBase {
+			set := append([]string(nil), s.chosen...)
+			sort.Strings(set)
+			out = append(out, RankedSet{Set: set, Prob: s.prefix})
+			continue
+		}
+		n := m.znodes[s.node]
+		push(state{node: ZRef(n.lo), prefix: s.prefix, chosen: s.chosen})
+		name := m.order[n.level]
+		push(state{
+			node:   ZRef(n.hi),
+			prefix: s.prefix * probs[name],
+			chosen: append(append([]string(nil), s.chosen...), name),
+		})
+	}
+	return out
+}
+
+type rankedItem struct {
+	state    interface{}
+	priority float64
+}
+
+// rankedQueue is a max-heap over rankedItem priorities.
+type rankedQueue []rankedItem
+
+func (q rankedQueue) Len() int            { return len(q) }
+func (q rankedQueue) Less(i, j int) bool  { return q[i].priority > q[j].priority }
+func (q rankedQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *rankedQueue) Push(x interface{}) { *q = append(*q, x.(rankedItem)) }
+func (q *rankedQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,112 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mpmcs4fta/internal/boolexpr"
+)
+
+func fpsCutFamily(t *testing.T) (*Manager, ZRef) {
+	t.Helper()
+	vars := []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+	m, err := NewManager(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.FromExpr(fpsExpr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	family, err := m.MinimalCutSets(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, family
+}
+
+func TestZTopSetsFPS(t *testing.T) {
+	m, family := fpsCutFamily(t)
+	ranked := m.ZTopSets(family, fpsProbs, 10)
+	wantSets := [][]string{
+		{"x1", "x2"},
+		{"x5", "x6"},
+		{"x5", "x7"},
+		{"x4"},
+		{"x3"},
+	}
+	wantProbs := []float64{0.02, 0.005, 0.0025, 0.002, 0.001}
+	if len(ranked) != 5 {
+		t.Fatalf("got %d sets, want 5", len(ranked))
+	}
+	for i, r := range ranked {
+		if !reflect.DeepEqual(r.Set, wantSets[i]) {
+			t.Errorf("rank %d: %v, want %v", i+1, r.Set, wantSets[i])
+		}
+		if math.Abs(r.Prob-wantProbs[i]) > 1e-12 {
+			t.Errorf("rank %d: prob %v, want %v", i+1, r.Prob, wantProbs[i])
+		}
+	}
+}
+
+func TestZTopSetsTruncation(t *testing.T) {
+	m, family := fpsCutFamily(t)
+	ranked := m.ZTopSets(family, fpsProbs, 2)
+	if len(ranked) != 2 {
+		t.Fatalf("got %d sets, want 2", len(ranked))
+	}
+	if ranked[0].Prob < ranked[1].Prob {
+		t.Error("ranking not descending")
+	}
+	if got := m.ZTopSets(family, fpsProbs, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := m.ZTopSets(ZEmpty, fpsProbs, 3); got != nil {
+		t.Error("empty family should return nil")
+	}
+}
+
+func TestZTopSetsMatchesExhaustiveRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	cfg := boolexpr.RandomConfig{NumVars: 6, MaxDepth: 4, MaxFanIn: 3, AllowAtLeast: true}
+	order := []string{"v0", "v1", "v2", "v3", "v4", "v5"}
+	for trial := 0; trial < 40; trial++ {
+		e := boolexpr.Random(rng, cfg)
+		probs := make(map[string]float64, len(order))
+		for _, v := range order {
+			probs[v] = 0.01 + 0.98*rng.Float64()
+		}
+		m, _ := NewManager(order)
+		f, err := m.FromExpr(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		family, err := m.MinimalCutSets(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := m.ZSets(family)
+		wantProbs := make([]float64, 0, len(all))
+		for _, set := range all {
+			p := 1.0
+			for _, v := range set {
+				p *= probs[v]
+			}
+			wantProbs = append(wantProbs, p)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(wantProbs)))
+
+		ranked := m.ZTopSets(family, probs, len(all)+2)
+		if len(ranked) != len(all) {
+			t.Fatalf("trial %d: enumerated %d, family has %d", trial, len(ranked), len(all))
+		}
+		for i, r := range ranked {
+			if math.Abs(r.Prob-wantProbs[i]) > 1e-12 {
+				t.Fatalf("trial %d rank %d: prob %v, want %v", trial, i+1, r.Prob, wantProbs[i])
+			}
+		}
+	}
+}

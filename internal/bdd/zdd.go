@@ -1,0 +1,293 @@
+package bdd
+
+import (
+	"math"
+	"sort"
+)
+
+// ZRef identifies a ZDD node within a Manager. ZDDs canonically encode
+// families of variable sets: a path to ⊤ includes exactly the variables
+// taken through hi edges (skipped variables are absent, per the
+// zero-suppression rule).
+type ZRef int32
+
+// ZDD terminals: ZEmpty is the empty family {}, ZBase is the family
+// containing only the empty set {∅}.
+const (
+	ZEmpty ZRef = 0
+	ZBase  ZRef = 1
+)
+
+type zopKey struct {
+	op   uint8
+	a, b ZRef
+}
+
+const (
+	zopUnion uint8 = iota + 1
+	zopWithout
+)
+
+// zmk returns the canonical ZDD node, applying the zero-suppression
+// rule (hi == ZEmpty collapses to lo).
+func (m *Manager) zmk(level int32, lo, hi ZRef) ZRef {
+	if hi == ZEmpty {
+		return lo
+	}
+	key := triple{level: level, lo: Ref(lo), hi: Ref(hi)}
+	if ref, ok := m.zunique[key]; ok {
+		return ref
+	}
+	m.checkLimit()
+	m.znodes = append(m.znodes, node{level: level, lo: Ref(lo), hi: Ref(hi)})
+	ref := ZRef(len(m.znodes) - 1)
+	m.zunique[key] = ref
+	return ref
+}
+
+// ZUnion returns the family union a ∪ b.
+func (m *Manager) ZUnion(a, b ZRef) ZRef {
+	switch {
+	case a == ZEmpty:
+		return b
+	case b == ZEmpty:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := zopKey{op: zopUnion, a: a, b: b}
+	if r, ok := m.zcache[key]; ok {
+		return r
+	}
+	na, nb := m.znodes[a], m.znodes[b]
+	var out ZRef
+	switch {
+	case a == ZBase:
+		out = m.zmk(nb.level, m.ZUnion(ZBase, ZRef(nb.lo)), ZRef(nb.hi))
+	case b == ZBase:
+		out = m.zmk(na.level, m.ZUnion(ZRef(na.lo), ZBase), ZRef(na.hi))
+	case na.level < nb.level:
+		out = m.zmk(na.level, m.ZUnion(ZRef(na.lo), b), ZRef(na.hi))
+	case na.level > nb.level:
+		out = m.zmk(nb.level, m.ZUnion(a, ZRef(nb.lo)), ZRef(nb.hi))
+	default:
+		out = m.zmk(na.level, m.ZUnion(ZRef(na.lo), ZRef(nb.lo)), m.ZUnion(ZRef(na.hi), ZRef(nb.hi)))
+	}
+	m.zcache[key] = out
+	return out
+}
+
+// ZWithout returns the sets of u that are not supersets of any set in v
+// (Rauzy's "without" / subsume-difference operator on monotone
+// families).
+func (m *Manager) ZWithout(u, v ZRef) ZRef {
+	switch {
+	case v == ZEmpty:
+		return u
+	case v == ZBase:
+		// ∅ ∈ v subsumes every set.
+		return ZEmpty
+	case u == ZEmpty:
+		return ZEmpty
+	case u == ZBase:
+		// ∅ ⊇ T only for T = ∅; v may contain ∅ deep in its lo-chain
+		// (unions built during the recursion are not antichains).
+		if m.zHasEmpty(v) {
+			return ZEmpty
+		}
+		return ZBase
+	case u == v:
+		return ZEmpty
+	}
+	key := zopKey{op: zopWithout, a: u, b: v}
+	if r, ok := m.zcache[key]; ok {
+		return r
+	}
+	nu, nv := m.znodes[u], m.znodes[v]
+	var out ZRef
+	switch {
+	case nu.level == nv.level:
+		// Sets with x must avoid subsuming both x-free sets (v.lo) and
+		// x-sets (v.hi, compared on the remainder); x-free sets only
+		// compete with v.lo.
+		hi := m.ZWithout(ZRef(nu.hi), m.ZUnion(ZRef(nv.lo), ZRef(nv.hi)))
+		lo := m.ZWithout(ZRef(nu.lo), ZRef(nv.lo))
+		out = m.zmk(nu.level, lo, hi)
+	case nu.level < nv.level:
+		// u's top variable x does not occur in v; v-sets constrain both
+		// branches on the remainder.
+		hi := m.ZWithout(ZRef(nu.hi), v)
+		lo := m.ZWithout(ZRef(nu.lo), v)
+		out = m.zmk(nu.level, lo, hi)
+	default:
+		// v's top variable does not occur in u: v-sets containing it
+		// can never be subsets of u-sets.
+		out = m.ZWithout(u, ZRef(nv.lo))
+	}
+	m.zcache[key] = out
+	return out
+}
+
+// zHasEmpty reports whether ∅ belongs to the family: following lo edges
+// (every variable absent) must reach ZBase.
+func (m *Manager) zHasEmpty(f ZRef) bool {
+	for f != ZEmpty && f != ZBase {
+		f = ZRef(m.znodes[f].lo)
+	}
+	return f == ZBase
+}
+
+// ZSingleton returns the family {{name}}.
+func (m *Manager) ZSingleton(level int32) ZRef {
+	return m.zmk(level, ZEmpty, ZBase)
+}
+
+// ZCount returns the number of sets in the family.
+func (m *Manager) ZCount(f ZRef) int64 {
+	memo := make(map[ZRef]int64)
+	var walk func(ZRef) int64
+	walk = func(g ZRef) int64 {
+		switch g {
+		case ZEmpty:
+			return 0
+		case ZBase:
+			return 1
+		}
+		if c, ok := memo[g]; ok {
+			return c
+		}
+		n := m.znodes[g]
+		c := walk(ZRef(n.lo)) + walk(ZRef(n.hi))
+		memo[g] = c
+		return c
+	}
+	return walk(f)
+}
+
+// ZSets enumerates the family as sorted string slices, in a
+// deterministic order. Use only on families of manageable size.
+func (m *Manager) ZSets(f ZRef) [][]string {
+	var (
+		out     [][]string
+		current []string
+	)
+	var walk func(ZRef)
+	walk = func(g ZRef) {
+		switch g {
+		case ZEmpty:
+			return
+		case ZBase:
+			set := append([]string(nil), current...)
+			sort.Strings(set)
+			out = append(out, set)
+			return
+		}
+		n := m.znodes[g]
+		walk(ZRef(n.lo))
+		current = append(current, m.order[n.level])
+		walk(ZRef(n.hi))
+		current = current[:len(current)-1]
+	}
+	walk(f)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// ZBestSet returns the set with the maximum product of per-variable
+// probabilities, together with that probability. It is the BDD-side
+// MPMCS: dynamic programming over the family, O(nodes). The empty
+// family yields (nil, 0).
+func (m *Manager) ZBestSet(f ZRef, probs map[string]float64) ([]string, float64) {
+	if f == ZEmpty {
+		return nil, 0
+	}
+	type entry struct {
+		prob float64
+		hi   bool // whether the best path takes the hi edge
+	}
+	memo := make(map[ZRef]entry)
+	var walk func(ZRef) float64
+	walk = func(g ZRef) float64 {
+		switch g {
+		case ZEmpty:
+			return math.Inf(-1)
+		case ZBase:
+			return 1
+		}
+		if e, ok := memo[g]; ok {
+			return e.prob
+		}
+		n := m.znodes[g]
+		loProb := walk(ZRef(n.lo))
+		hiProb := walk(ZRef(n.hi)) * probs[m.order[n.level]]
+		e := entry{prob: loProb, hi: false}
+		if hiProb > loProb {
+			e = entry{prob: hiProb, hi: true}
+		}
+		memo[g] = e
+		return e.prob
+	}
+	best := walk(f)
+
+	var set []string
+	g := f
+	for g != ZBase && g != ZEmpty {
+		n := m.znodes[g]
+		if memo[g].hi {
+			set = append(set, m.order[n.level])
+			g = ZRef(n.hi)
+		} else {
+			g = ZRef(n.lo)
+		}
+	}
+	sort.Strings(set)
+	return set, best
+}
+
+// MinimalCutSets computes the family of minimal solutions (prime
+// implicants of a monotone function): Rauzy's algorithm translated to
+// the ZDD family representation. The input BDD must be monotone
+// (fault-tree structure functions are); on non-monotone inputs the
+// result is unspecified. It returns ErrNodeLimit when the manager's
+// node budget is exhausted.
+func (m *Manager) MinimalCutSets(f Ref) (out ZRef, err error) {
+	defer guard(&err)
+	return m.minimalCutSets(f), nil
+}
+
+func (m *Manager) minimalCutSets(f Ref) ZRef {
+	memo := make(map[Ref]ZRef)
+	var walk func(Ref) ZRef
+	walk = func(g Ref) ZRef {
+		switch g {
+		case False:
+			return ZEmpty
+		case True:
+			return ZBase
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		n := m.nodes[g]
+		k0 := walk(n.lo)
+		k1 := walk(n.hi)
+		// Cut sets through x: minimal solutions of the hi cofactor not
+		// already achievable without x.
+		k1p := m.ZWithout(k1, k0)
+		out := m.zmk(n.level, k0, k1p)
+		memo[g] = out
+		return out
+	}
+	return walk(f)
+}

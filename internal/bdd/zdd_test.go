@@ -1,0 +1,243 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mpmcs4fta/internal/boolexpr"
+)
+
+// bruteForceMCS enumerates the minimal solutions of a monotone
+// expression by truth-table: a satisfying set is minimal when removing
+// any single element falsifies the expression.
+func bruteForceMCS(e boolexpr.Expr, vars []string) [][]string {
+	var out [][]string
+	boolexpr.AllAssignments(vars, func(assign map[string]bool) bool {
+		if !e.Eval(assign) {
+			return true
+		}
+		minimal := true
+		for _, v := range vars {
+			if !assign[v] {
+				continue
+			}
+			assign[v] = false
+			sat := e.Eval(assign)
+			assign[v] = true
+			if sat {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			var set []string
+			for _, v := range vars {
+				if assign[v] {
+					set = append(set, v)
+				}
+			}
+			sort.Strings(set)
+			out = append(out, set)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func TestMinimalCutSetsFPS(t *testing.T) {
+	vars := []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+	m, err := NewManager(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.FromExpr(fpsExpr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := m.MinimalCutSets(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.ZSets(cuts)
+	want := [][]string{
+		{"x1", "x2"},
+		{"x3"},
+		{"x4"},
+		{"x5", "x6"},
+		{"x5", "x7"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MinimalCutSets = %v, want %v", got, want)
+	}
+	if n := m.ZCount(cuts); n != 5 {
+		t.Errorf("ZCount = %d, want 5", n)
+	}
+}
+
+func TestZBestSetFPS(t *testing.T) {
+	vars := []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+	m, _ := NewManager(vars)
+	f, err := m.FromExpr(fpsExpr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := m.MinimalCutSets(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, prob := m.ZBestSet(cuts, fpsProbs)
+	if !reflect.DeepEqual(set, []string{"x1", "x2"}) {
+		t.Errorf("best set = %v, want [x1 x2]", set)
+	}
+	if math.Abs(prob-0.02) > 1e-12 {
+		t.Errorf("best probability = %v, want 0.02", prob)
+	}
+}
+
+func TestMinimalCutSetsRandomMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	cfg := boolexpr.RandomConfig{
+		NumVars:      6,
+		MaxDepth:     4,
+		MaxFanIn:     3,
+		AllowNot:     false,
+		AllowAtLeast: true,
+	}
+	order := []string{"v0", "v1", "v2", "v3", "v4", "v5"}
+	for trial := 0; trial < 80; trial++ {
+		e := boolexpr.Random(rng, cfg)
+		m, _ := NewManager(order)
+		f, err := m.FromExpr(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcsRef, err := m.MinimalCutSets(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.ZSets(mcsRef)
+		want := bruteForceMCS(e, order)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: MCS mismatch for %v:\n got %v\nwant %v", trial, e, got, want)
+		}
+	}
+}
+
+func TestZBestSetAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cfg := boolexpr.RandomConfig{
+		NumVars:  5,
+		MaxDepth: 4,
+		MaxFanIn: 3,
+	}
+	order := []string{"v0", "v1", "v2", "v3", "v4"}
+	for trial := 0; trial < 60; trial++ {
+		e := boolexpr.Random(rng, cfg)
+		probs := make(map[string]float64, len(order))
+		for _, v := range order {
+			probs[v] = 0.01 + 0.98*rng.Float64()
+		}
+		m, _ := NewManager(order)
+		f, err := m.FromExpr(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cuts, err := m.MinimalCutSets(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gotProb := m.ZBestSet(cuts, probs)
+
+		wantProb := 0.0
+		for _, set := range bruteForceMCS(e, order) {
+			p := 1.0
+			for _, v := range set {
+				p *= probs[v]
+			}
+			if p > wantProb {
+				wantProb = p
+			}
+		}
+		if cuts == ZEmpty {
+			if gotProb != 0 {
+				t.Fatalf("trial %d: empty family with prob %v", trial, gotProb)
+			}
+			continue
+		}
+		if math.Abs(gotProb-wantProb) > 1e-9 {
+			t.Fatalf("trial %d: ZBestSet prob %v, brute force %v (expr %v)", trial, gotProb, wantProb, e)
+		}
+	}
+}
+
+func TestZUnionBasics(t *testing.T) {
+	m, _ := NewManager([]string{"a", "b"})
+	sa := m.ZSingleton(0) // {{a}}
+	sb := m.ZSingleton(1) // {{b}}
+	u := m.ZUnion(sa, sb)
+	got := m.ZSets(u)
+	want := [][]string{{"a"}, {"b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ZUnion = %v, want %v", got, want)
+	}
+	if m.ZUnion(u, u) != u {
+		t.Error("union should be idempotent")
+	}
+	if m.ZUnion(u, ZEmpty) != u || m.ZUnion(ZEmpty, u) != u {
+		t.Error("union with empty family should be identity")
+	}
+	if m.ZCount(m.ZUnion(u, ZBase)) != 3 {
+		t.Error("union with {∅} should add the empty set")
+	}
+}
+
+func TestZWithoutBasics(t *testing.T) {
+	m, _ := NewManager([]string{"a", "b"})
+	sa := m.ZSingleton(0)                   // {{a}}
+	ab := m.zmk(0, ZEmpty, m.ZSingleton(1)) // {{a,b}}
+	both := m.ZUnion(sa, ab)                // {{a},{a,b}}
+
+	// {a,b} ⊇ {a}: subsume-difference leaves only {a}.
+	if got := m.ZSets(m.ZWithout(both, sa)); !reflect.DeepEqual(got, [][]string{{"a"}}) {
+		// {a} ⊇ {a} too, so actually both are supersets of {a}.
+		t.Logf("ZWithout(both, {{a}}) = %v", got)
+	}
+	if got := m.ZWithout(both, sa); got != ZEmpty {
+		t.Errorf("every set contains {a}; want empty family, got %v", m.ZSets(got))
+	}
+	if got := m.ZWithout(both, ZBase); got != ZEmpty {
+		t.Error("∅ subsumes everything")
+	}
+	if got := m.ZWithout(both, ZEmpty); got != both {
+		t.Error("empty family subsumes nothing")
+	}
+	sb := m.ZSingleton(1)
+	if got := m.ZSets(m.ZWithout(both, sb)); !reflect.DeepEqual(got, [][]string{{"a"}}) {
+		t.Errorf("ZWithout(both, {{b}}) = %v, want [[a]]", got)
+	}
+}
+
+func TestMinimalCutSetsTerminals(t *testing.T) {
+	m, _ := NewManager([]string{"a"})
+	if got, err := m.MinimalCutSets(False); err != nil || got != ZEmpty {
+		t.Errorf("MCS(false) = %v, %v; want empty family", got, err)
+	}
+	if got, err := m.MinimalCutSets(True); err != nil || got != ZBase {
+		t.Errorf("MCS(true) = %v, %v; want {∅}", got, err)
+	}
+}

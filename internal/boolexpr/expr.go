@@ -1,0 +1,308 @@
+// Package boolexpr provides a Boolean formula AST used throughout the
+// MPMCS pipeline. Fault trees compile to expressions here (internal/ft),
+// the Step-1 success-tree transformation is expressed as structural
+// dualisation, and the Tseitin encoder (internal/cnf) consumes the AST.
+//
+// Expressions are immutable after construction: transformations return
+// new expressions and never mutate their inputs, so values can be shared
+// freely between goroutines.
+package boolexpr
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expr is a Boolean expression over named variables.
+//
+// The concrete types are Var, Not, And, Or, AtLeast and Const. AtLeast
+// models K-of-N voting gates natively; ExpandAtLeast rewrites it into
+// And/Or form when a two-level representation is required.
+type Expr interface {
+	// Eval evaluates the expression under the given assignment.
+	// Variables missing from the assignment evaluate to false.
+	Eval(assign map[string]bool) bool
+
+	// String renders the expression in a compact infix syntax.
+	String() string
+
+	isExpr()
+}
+
+// Var is a reference to a named Boolean variable.
+type Var struct {
+	Name string
+}
+
+// Not is logical negation.
+type Not struct {
+	X Expr
+}
+
+// And is an n-ary conjunction. An empty conjunction is true.
+type And struct {
+	Xs []Expr
+}
+
+// Or is an n-ary disjunction. An empty disjunction is false.
+type Or struct {
+	Xs []Expr
+}
+
+// AtLeast is true when at least K of its operands are true. It models
+// the K-of-N voting gates named as future work in the paper.
+type AtLeast struct {
+	K  int
+	Xs []Expr
+}
+
+// Const is a Boolean constant.
+type Const struct {
+	B bool
+}
+
+// True and False are the Boolean constants.
+var (
+	True  = Const{B: true}
+	False = Const{B: false}
+)
+
+func (Var) isExpr()     {}
+func (Not) isExpr()     {}
+func (And) isExpr()     {}
+func (Or) isExpr()      {}
+func (AtLeast) isExpr() {}
+func (Const) isExpr()   {}
+
+// V returns a variable reference.
+func V(name string) Var { return Var{Name: name} }
+
+// NewAnd builds a conjunction of the given operands.
+func NewAnd(xs ...Expr) And { return And{Xs: xs} }
+
+// NewOr builds a disjunction of the given operands.
+func NewOr(xs ...Expr) Or { return Or{Xs: xs} }
+
+// NewAtLeast builds a K-of-N threshold expression.
+func NewAtLeast(k int, xs ...Expr) AtLeast { return AtLeast{K: k, Xs: xs} }
+
+// Eval implements Expr.
+func (v Var) Eval(assign map[string]bool) bool { return assign[v.Name] }
+
+// Eval implements Expr.
+func (n Not) Eval(assign map[string]bool) bool { return !n.X.Eval(assign) }
+
+// Eval implements Expr.
+func (a And) Eval(assign map[string]bool) bool {
+	for _, x := range a.Xs {
+		if !x.Eval(assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval implements Expr.
+func (o Or) Eval(assign map[string]bool) bool {
+	for _, x := range o.Xs {
+		if x.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval implements Expr.
+func (a AtLeast) Eval(assign map[string]bool) bool {
+	count := 0
+	for _, x := range a.Xs {
+		if x.Eval(assign) {
+			count++
+			if count >= a.K {
+				return true
+			}
+		}
+	}
+	return count >= a.K // handles K <= 0
+}
+
+// Eval implements Expr.
+func (c Const) Eval(map[string]bool) bool { return c.B }
+
+// String implements Expr.
+func (v Var) String() string { return v.Name }
+
+// String implements Expr.
+func (n Not) String() string { return "!" + parenthesize(n.X) }
+
+// String implements Expr.
+func (a And) String() string { return joinExprs(a.Xs, " & ", "true") }
+
+// String implements Expr.
+func (o Or) String() string { return joinExprs(o.Xs, " | ", "false") }
+
+// String implements Expr.
+func (a AtLeast) String() string {
+	var b strings.Builder
+	b.WriteString("atleast(")
+	b.WriteString(strconv.Itoa(a.K))
+	for _, x := range a.Xs {
+		b.WriteString(", ")
+		b.WriteString(x.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// String implements Expr.
+func (c Const) String() string {
+	if c.B {
+		return "true"
+	}
+	return "false"
+}
+
+func joinExprs(xs []Expr, sep, empty string) string {
+	if len(xs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = parenthesize(x)
+	}
+	return strings.Join(parts, sep)
+}
+
+func parenthesize(x Expr) string {
+	switch x.(type) {
+	case And, Or:
+		return "(" + x.String() + ")"
+	default:
+		return x.String()
+	}
+}
+
+// Vars returns the sorted set of variable names appearing in e.
+func Vars(e Expr) []string {
+	seen := make(map[string]struct{})
+	collectVars(e, seen)
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func collectVars(e Expr, seen map[string]struct{}) {
+	switch x := e.(type) {
+	case Var:
+		seen[x.Name] = struct{}{}
+	case Not:
+		collectVars(x.X, seen)
+	case And:
+		for _, c := range x.Xs {
+			collectVars(c, seen)
+		}
+	case Or:
+		for _, c := range x.Xs {
+			collectVars(c, seen)
+		}
+	case AtLeast:
+		for _, c := range x.Xs {
+			collectVars(c, seen)
+		}
+	case Const:
+	}
+}
+
+// Size returns the number of AST nodes in e.
+func Size(e Expr) int {
+	switch x := e.(type) {
+	case Var, Const:
+		return 1
+	case Not:
+		return 1 + Size(x.X)
+	case And:
+		return 1 + sizeAll(x.Xs)
+	case Or:
+		return 1 + sizeAll(x.Xs)
+	case AtLeast:
+		return 1 + sizeAll(x.Xs)
+	}
+	return 0
+}
+
+func sizeAll(xs []Expr) int {
+	total := 0
+	for _, x := range xs {
+		total += Size(x)
+	}
+	return total
+}
+
+// Depth returns the height of the AST: a leaf has depth 1.
+func Depth(e Expr) int {
+	switch x := e.(type) {
+	case Var, Const:
+		return 1
+	case Not:
+		return 1 + Depth(x.X)
+	case And:
+		return 1 + depthAll(x.Xs)
+	case Or:
+		return 1 + depthAll(x.Xs)
+	case AtLeast:
+		return 1 + depthAll(x.Xs)
+	}
+	return 0
+}
+
+func depthAll(xs []Expr) int {
+	deepest := 0
+	for _, x := range xs {
+		if d := Depth(x); d > deepest {
+			deepest = d
+		}
+	}
+	return deepest
+}
+
+// Equal reports structural equality of two expressions. Operand order is
+// significant: And(a,b) and And(b,a) are not Equal.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case Var:
+		y, ok := b.(Var)
+		return ok && x.Name == y.Name
+	case Not:
+		y, ok := b.(Not)
+		return ok && Equal(x.X, y.X)
+	case And:
+		y, ok := b.(And)
+		return ok && equalAll(x.Xs, y.Xs)
+	case Or:
+		y, ok := b.(Or)
+		return ok && equalAll(x.Xs, y.Xs)
+	case AtLeast:
+		y, ok := b.(AtLeast)
+		return ok && x.K == y.K && equalAll(x.Xs, y.Xs)
+	case Const:
+		y, ok := b.(Const)
+		return ok && x.B == y.B
+	}
+	return false
+}
+
+func equalAll(xs, ys []Expr) bool {
+	if len(xs) != len(ys) {
+		return false
+	}
+	for i := range xs {
+		if !Equal(xs[i], ys[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fpsFormula returns the fault-tree function of the paper's Fig. 1:
+// f(t) = (x1 & x2) | (x3 | x4 | (x5 & (x6 | x7))).
+func fpsFormula() Expr {
+	return NewOr(
+		NewAnd(V("x1"), V("x2")),
+		NewOr(
+			V("x3"),
+			V("x4"),
+			NewAnd(V("x5"), NewOr(V("x6"), V("x7"))),
+		),
+	)
+}
+
+func TestEvalFPSExample(t *testing.T) {
+	f := fpsFormula()
+	tests := []struct {
+		name   string
+		assign map[string]bool
+		want   bool
+	}{
+		{name: "all false", assign: map[string]bool{}, want: false},
+		{name: "both sensors", assign: map[string]bool{"x1": true, "x2": true}, want: true},
+		{name: "one sensor", assign: map[string]bool{"x1": true}, want: false},
+		{name: "no water", assign: map[string]bool{"x3": true}, want: true},
+		{name: "nozzles blocked", assign: map[string]bool{"x4": true}, want: true},
+		{name: "auto only", assign: map[string]bool{"x5": true}, want: false},
+		{name: "auto and comms", assign: map[string]bool{"x5": true, "x6": true}, want: true},
+		{name: "auto and ddos", assign: map[string]bool{"x5": true, "x7": true}, want: true},
+		{name: "comms only", assign: map[string]bool{"x6": true, "x7": true}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := f.Eval(tt.assign); got != tt.want {
+				t.Errorf("Eval(%v) = %v, want %v", tt.assign, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVars(t *testing.T) {
+	got := Vars(fpsFormula())
+	want := []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVarsDeduplicates(t *testing.T) {
+	e := NewOr(V("a"), NewAnd(V("a"), Not{X: V("b")}), NewAtLeast(1, V("b"), V("a")))
+	got := Vars(e)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Vars = %v, want [a b]", got)
+	}
+}
+
+func TestAtLeastEval(t *testing.T) {
+	vote := NewAtLeast(2, V("a"), V("b"), V("c"))
+	tests := []struct {
+		name   string
+		assign map[string]bool
+		want   bool
+	}{
+		{"none", map[string]bool{}, false},
+		{"one", map[string]bool{"a": true}, false},
+		{"two", map[string]bool{"a": true, "c": true}, true},
+		{"all", map[string]bool{"a": true, "b": true, "c": true}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := vote.Eval(tt.assign); got != tt.want {
+				t.Errorf("Eval(%v) = %v, want %v", tt.assign, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAtLeastDegenerateK(t *testing.T) {
+	if !NewAtLeast(0, V("a")).Eval(map[string]bool{}) {
+		t.Error("atleast(0, ...) should be true under any assignment")
+	}
+	if NewAtLeast(2, V("a")).Eval(map[string]bool{"a": true}) {
+		t.Error("atleast(2, a) should be false when only one operand exists")
+	}
+}
+
+func TestEmptyGates(t *testing.T) {
+	if !(And{}).Eval(nil) {
+		t.Error("empty And should evaluate to true")
+	}
+	if (Or{}).Eval(nil) {
+		t.Error("empty Or should evaluate to false")
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	if !True.Eval(nil) || False.Eval(nil) {
+		t.Error("constants evaluate incorrectly")
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		give Expr
+		want string
+	}{
+		{V("x1"), "x1"},
+		{Not{X: V("a")}, "!a"},
+		{NewAnd(V("a"), V("b")), "a & b"},
+		{NewOr(V("a"), NewAnd(V("b"), V("c"))), "a | (b & c)"},
+		{NewAtLeast(2, V("a"), V("b"), V("c")), "atleast(2, a, b, c)"},
+		{True, "true"},
+		{False, "false"},
+		{And{}, "true"},
+		{Or{}, "false"},
+		{Not{X: NewOr(V("a"), V("b"))}, "!(a | b)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSizeAndDepth(t *testing.T) {
+	f := fpsFormula()
+	// Or(And(x1,x2), Or(x3, x4, And(x5, Or(x6,x7)))):
+	// nodes: Or + And + x1 + x2 + Or + x3 + x4 + And + x5 + Or + x6 + x7 = 12
+	if got := Size(f); got != 12 {
+		t.Errorf("Size = %d, want 12", got)
+	}
+	// depth: Or -> Or -> And -> Or -> x6 = 5
+	if got := Depth(f); got != 5 {
+		t.Errorf("Depth = %d, want 5", got)
+	}
+	if Size(V("a")) != 1 || Depth(V("a")) != 1 {
+		t.Error("leaf size/depth should be 1")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Expr
+		want bool
+	}{
+		{"same var", V("a"), V("a"), true},
+		{"different var", V("a"), V("b"), false},
+		{"same formula", fpsFormula(), fpsFormula(), true},
+		{"order matters", NewAnd(V("a"), V("b")), NewAnd(V("b"), V("a")), false},
+		{"and vs or", NewAnd(V("a"), V("b")), NewOr(V("a"), V("b")), false},
+		{"atleast k differs", NewAtLeast(1, V("a"), V("b")), NewAtLeast(2, V("a"), V("b")), false},
+		{"const", True, True, true},
+		{"const differs", True, False, false},
+		{"not", Not{X: V("a")}, Not{X: V("a")}, true},
+		{"var vs const", V("a"), True, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Equal(tt.a, tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := DefaultRandomConfig()
+	a := Random(rand.New(rand.NewSource(42)), cfg)
+	b := Random(rand.New(rand.NewSource(42)), cfg)
+	if !Equal(a, b) {
+		t.Error("Random with identical seeds should produce identical expressions")
+	}
+}
+
+func TestAllAssignmentsCount(t *testing.T) {
+	count := 0
+	AllAssignments([]string{"a", "b", "c"}, func(map[string]bool) bool {
+		count++
+		return true
+	})
+	if count != 8 {
+		t.Errorf("enumerated %d assignments, want 8", count)
+	}
+}
+
+func TestAllAssignmentsEarlyStop(t *testing.T) {
+	count := 0
+	AllAssignments([]string{"a", "b"}, func(map[string]bool) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("enumerated %d assignments after early stop, want 2", count)
+	}
+}

@@ -1,0 +1,247 @@
+package boolexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an expression in the infix syntax produced by
+// Expr.String:
+//
+//	expr     := or
+//	or       := and { "|" and }
+//	and      := unary { "&" unary }
+//	unary    := "!" unary | atom
+//	atom     := ident | "true" | "false" | "(" expr ")"
+//	          | "atleast" "(" int { "," expr } ")"
+//
+// Identifiers consist of letters, digits, '_', '-' and '.' and must not
+// start with a digit. Parse and String are inverse up to operand
+// grouping: Parse(e.String()) is logically equivalent to e.
+func Parse(input string) (Expr, error) {
+	p := &parser{input: input}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %q", p.tok.text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for tests and static expressions; it panics on
+// malformed input.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokAnd
+	tokOr
+	tokNot
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	input string
+	pos   int
+	tok   token
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("boolexpr: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+// next advances to the following token.
+func (p *parser) next() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '&':
+		p.pos++
+		p.tok = token{kind: tokAnd, text: "&", pos: start}
+	case c == '|':
+		p.pos++
+		p.tok = token{kind: tokOr, text: "|", pos: start}
+	case c == '!':
+		p.pos++
+		p.tok = token{kind: tokNot, text: "!", pos: start}
+	case c == '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "(", pos: start}
+	case c == ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")", pos: start}
+	case c == ',':
+		p.pos++
+		p.tok = token{kind: tokComma, text: ",", pos: start}
+	case c >= '0' && c <= '9':
+		for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+			p.pos++
+		}
+		p.tok = token{kind: tokNumber, text: p.input[start:p.pos], pos: start}
+	case isIdentStart(rune(c)):
+		for p.pos < len(p.input) && isIdentPart(rune(p.input[p.pos])) {
+			p.pos++
+		}
+		p.tok = token{kind: tokIdent, text: p.input[start:p.pos], pos: start}
+	default:
+		p.tok = token{kind: tokEOF, text: string(c), pos: start}
+		p.pos = len(p.input)
+		// Surfaced as an error by the caller expecting something else.
+		p.tok.kind = tokenKind(-1)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	operands := []Expr{first}
+	for p.tok.kind == tokOr {
+		p.next()
+		operand, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		operands = append(operands, operand)
+	}
+	if len(operands) == 1 {
+		return operands[0], nil
+	}
+	return Or{Xs: operands}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	operands := []Expr{first}
+	for p.tok.kind == tokAnd {
+		p.next()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		operands = append(operands, operand)
+	}
+	if len(operands) == 1 {
+		return operands[0], nil
+	}
+	return And{Xs: operands}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokNot {
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: inner}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', got %q", p.tok.text)
+		}
+		p.next()
+		return e, nil
+	case tokIdent:
+		name := p.tok.text
+		switch strings.ToLower(name) {
+		case "true":
+			p.next()
+			return True, nil
+		case "false":
+			p.next()
+			return False, nil
+		case "atleast":
+			return p.parseAtLeast()
+		}
+		p.next()
+		return Var{Name: name}, nil
+	default:
+		return nil, p.errorf("expected an expression, got %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseAtLeast() (Expr, error) {
+	p.next() // consume "atleast"
+	if p.tok.kind != tokLParen {
+		return nil, p.errorf("expected '(' after atleast")
+	}
+	p.next()
+	if p.tok.kind != tokNumber {
+		return nil, p.errorf("expected threshold integer, got %q", p.tok.text)
+	}
+	k, err := strconv.Atoi(p.tok.text)
+	if err != nil {
+		return nil, p.errorf("bad threshold %q", p.tok.text)
+	}
+	p.next()
+	var operands []Expr
+	for p.tok.kind == tokComma {
+		p.next()
+		operand, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		operands = append(operands, operand)
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errorf("expected ')' to close atleast, got %q", p.tok.text)
+	}
+	p.next()
+	if len(operands) == 0 {
+		return nil, p.errorf("atleast needs at least one operand")
+	}
+	return AtLeast{K: k, Xs: operands}, nil
+}

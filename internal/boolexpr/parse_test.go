@@ -1,0 +1,104 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		give string
+		want Expr
+	}{
+		{"a", V("a")},
+		{"!a", Not{X: V("a")}},
+		{"a & b", NewAnd(V("a"), V("b"))},
+		{"a | b | c", NewOr(V("a"), V("b"), V("c"))},
+		{"a & b & c", NewAnd(V("a"), V("b"), V("c"))},
+		{"a | b & c", NewOr(V("a"), NewAnd(V("b"), V("c")))},
+		{"(a | b) & c", NewAnd(NewOr(V("a"), V("b")), V("c"))},
+		{"!(a | b)", Not{X: NewOr(V("a"), V("b"))}},
+		{"!!a", Not{X: Not{X: V("a")}}},
+		{"true", True},
+		{"FALSE", False},
+		{"atleast(2, a, b, c)", NewAtLeast(2, V("a"), V("b"), V("c"))},
+		{"atleast(1, a & b, c)", NewAtLeast(1, NewAnd(V("a"), V("b")), V("c"))},
+		{"x_1 & x-2 & x.3", NewAnd(V("x_1"), V("x-2"), V("x.3"))},
+		{"  a  &b ", NewAnd(V("a"), V("b"))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := Parse(tt.give)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(got, tt.want) {
+				t.Errorf("Parse(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"a &",
+		"& a",
+		"(a",
+		"a)",
+		"a b",
+		"!(a",
+		"atleast",
+		"atleast(",
+		"atleast(x, a)",
+		"atleast(2 a)",
+		"atleast(2)",
+		"atleast(2, a",
+		"a @ b",
+		"1a",
+	}
+	for _, give := range tests {
+		t.Run(give, func(t *testing.T) {
+			if _, err := Parse(give); err == nil {
+				t.Errorf("Parse(%q) accepted", give)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("a &")
+}
+
+// TestParseStringRoundTrip: Parse(e.String()) is logically equivalent
+// to e, for random expressions.
+func TestParseStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	cfg := DefaultRandomConfig()
+	cfg.NumVars = 5
+	cfg.AllowConst = true
+	for trial := 0; trial < 200; trial++ {
+		e := Random(rng, cfg)
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e.String(), err)
+		}
+		assertEquivalent(t, e, back)
+	}
+}
+
+func TestParseFPSFormula(t *testing.T) {
+	f := MustParse("(x1 & x2) | (x3 | x4 | (x5 & (x6 | x7)))")
+	got := f.Eval(map[string]bool{"x1": true, "x2": true})
+	if !got {
+		t.Error("parsed FPS formula misbehaves")
+	}
+	if f.Eval(map[string]bool{"x1": true}) {
+		t.Error("single sensor should not satisfy the parsed formula")
+	}
+}

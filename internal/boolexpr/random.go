@@ -1,0 +1,110 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// RandomConfig controls the shape of randomly generated expressions.
+// The zero value is not useful; use DefaultRandomConfig as a base.
+type RandomConfig struct {
+	// NumVars is the size of the variable pool (v0 .. v{NumVars-1}).
+	NumVars int
+	// MaxDepth bounds the nesting depth of generated expressions.
+	MaxDepth int
+	// MaxFanIn bounds the operand count of generated gates (minimum 2).
+	MaxFanIn int
+	// AllowNot permits Not nodes (fault trees are monotone; tests for
+	// general formulas enable it).
+	AllowNot bool
+	// AllowAtLeast permits AtLeast (voting) nodes.
+	AllowAtLeast bool
+	// AllowConst permits Boolean constants at leaves.
+	AllowConst bool
+}
+
+// DefaultRandomConfig returns a configuration producing small, general
+// (non-monotone) expressions suitable for property-based tests.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		NumVars:      8,
+		MaxDepth:     5,
+		MaxFanIn:     4,
+		AllowNot:     true,
+		AllowAtLeast: true,
+		AllowConst:   false,
+	}
+}
+
+// Random generates a random expression using rng. It is deterministic
+// for a given rng state, making failures reproducible from the seed.
+func Random(rng *rand.Rand, cfg RandomConfig) Expr {
+	if cfg.NumVars < 1 {
+		cfg.NumVars = 1
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.MaxFanIn < 2 {
+		cfg.MaxFanIn = 2
+	}
+	return randomExpr(rng, cfg, cfg.MaxDepth)
+}
+
+func randomExpr(rng *rand.Rand, cfg RandomConfig, depth int) Expr {
+	if depth <= 1 {
+		return randomLeaf(rng, cfg)
+	}
+	// Weighted choice across node kinds; leaves stay possible at every
+	// level so expected size remains bounded.
+	choices := []func() Expr{
+		func() Expr { return randomLeaf(rng, cfg) },
+		func() Expr { return And{Xs: randomOperands(rng, cfg, depth)} },
+		func() Expr { return Or{Xs: randomOperands(rng, cfg, depth)} },
+	}
+	if cfg.AllowNot {
+		choices = append(choices, func() Expr {
+			return Not{X: randomExpr(rng, cfg, depth-1)}
+		})
+	}
+	if cfg.AllowAtLeast {
+		choices = append(choices, func() Expr {
+			xs := randomOperands(rng, cfg, depth)
+			k := 1 + rng.Intn(len(xs))
+			return AtLeast{K: k, Xs: xs}
+		})
+	}
+	return choices[rng.Intn(len(choices))]()
+}
+
+func randomOperands(rng *rand.Rand, cfg RandomConfig, depth int) []Expr {
+	n := 2 + rng.Intn(cfg.MaxFanIn-1)
+	xs := make([]Expr, n)
+	for i := range xs {
+		xs[i] = randomExpr(rng, cfg, depth-1)
+	}
+	return xs
+}
+
+func randomLeaf(rng *rand.Rand, cfg RandomConfig) Expr {
+	if cfg.AllowConst && rng.Intn(8) == 0 {
+		return Const{B: rng.Intn(2) == 0}
+	}
+	return Var{Name: "v" + strconv.Itoa(rng.Intn(cfg.NumVars))}
+}
+
+// AllAssignments enumerates every assignment over the given variables and
+// calls fn with each; it stops early if fn returns false. It is the
+// truth-table oracle used by tests (practical for ~20 variables).
+func AllAssignments(vars []string, fn func(assign map[string]bool) bool) {
+	assign := make(map[string]bool, len(vars))
+	total := uint64(1) << uint(len(vars))
+	for mask := uint64(0); mask < total; mask++ {
+		for i, v := range vars {
+			assign[v] = mask&(1<<uint(i)) != 0
+		}
+		if !fn(assign) {
+			return
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package cnf provides conjunctive-normal-form clause databases, the
+// Tseitin transformation from Boolean expressions (Step 2 of the paper's
+// pipeline), and the DIMACS CNF / WCNF interchange formats used by SAT
+// and MaxSAT solvers.
+package cnf
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lit is a DIMACS-style literal: +v denotes variable v, -v its negation.
+// Variable indices start at 1; 0 is not a valid literal.
+type Lit int32
+
+// Var returns the literal's variable index (always positive).
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Pos reports whether the literal is positive.
+func (l Lit) Pos() bool { return l > 0 }
+
+// String implements fmt.Stringer.
+func (l Lit) String() string { return strconv.Itoa(int(l)) }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 1..NumVars. The zero value is an empty formula over zero variables.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewVar allocates a fresh variable and returns its positive literal.
+func (f *Formula) NewVar() Lit {
+	f.NumVars++
+	return Lit(f.NumVars)
+}
+
+// AddClause appends a clause. The literals are copied.
+func (f *Formula) AddClause(lits ...Lit) {
+	clause := make(Clause, len(lits))
+	copy(clause, lits)
+	f.Clauses = append(f.Clauses, clause)
+	for _, l := range lits {
+		if v := l.Var(); v > f.NumVars {
+			f.NumVars = v
+		}
+	}
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Eval evaluates the formula under a total assignment. assign[v] is the
+// value of variable v (index 0 is unused). It returns an error if a
+// literal references a variable outside the assignment.
+func (f *Formula) Eval(assign []bool) (bool, error) {
+	for _, clause := range f.Clauses {
+		satisfied := false
+		for _, l := range clause {
+			v := l.Var()
+			if v >= len(assign) {
+				return false, fmt.Errorf("cnf: literal %d outside assignment of length %d", l, len(assign))
+			}
+			if assign[v] == l.Pos() {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Validate checks that every literal is non-zero and within 1..NumVars.
+func (f *Formula) Validate() error {
+	for i, clause := range f.Clauses {
+		if len(clause) == 0 {
+			continue // the empty clause is valid (and unsatisfiable)
+		}
+		for _, l := range clause {
+			if l == 0 {
+				return fmt.Errorf("cnf: clause %d contains literal 0", i)
+			}
+			if v := l.Var(); v > f.NumVars {
+				return fmt.Errorf("cnf: clause %d references variable %d > NumVars %d", i, v, f.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the formula.
+func (f *Formula) Clone() *Formula {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		out.Clauses[i] = append(Clause(nil), c...)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package cnf
+
+import (
+	"testing"
+)
+
+func TestLit(t *testing.T) {
+	l := Lit(5)
+	if l.Var() != 5 || !l.Pos() || l.Neg() != Lit(-5) {
+		t.Errorf("positive literal misbehaves: %v", l)
+	}
+	n := Lit(-7)
+	if n.Var() != 7 || n.Pos() || n.Neg() != Lit(7) {
+		t.Errorf("negative literal misbehaves: %v", n)
+	}
+	if l.String() != "5" || n.String() != "-7" {
+		t.Error("Lit.String mismatch")
+	}
+}
+
+func TestFormulaBasics(t *testing.T) {
+	var f Formula
+	v1 := f.NewVar()
+	v2 := f.NewVar()
+	f.AddClause(v1, v2.Neg())
+	f.AddClause(v2)
+	if f.NumVars != 2 || f.NumClauses() != 2 {
+		t.Fatalf("NumVars=%d NumClauses=%d", f.NumVars, f.NumClauses())
+	}
+	// AddClause grows NumVars when literals outrun allocations.
+	f.AddClause(Lit(9))
+	if f.NumVars != 9 {
+		t.Errorf("NumVars = %d after out-of-range literal, want 9", f.NumVars)
+	}
+}
+
+func TestFormulaAddClauseCopies(t *testing.T) {
+	var f Formula
+	lits := []Lit{1, 2}
+	f.AddClause(lits...)
+	lits[0] = 99
+	if f.Clauses[0][0] != 1 {
+		t.Error("AddClause must copy its argument")
+	}
+}
+
+func TestFormulaEval(t *testing.T) {
+	var f Formula
+	f.AddClause(1, -2)
+	f.AddClause(2, 3)
+	tests := []struct {
+		name   string
+		assign []bool
+		want   bool
+	}{
+		{"satisfying", []bool{false, true, true, false}, true},
+		{"violates first", []bool{false, false, true, true}, false},
+		{"violates second", []bool{false, true, false, false}, false},
+		{"all true", []bool{false, true, true, true}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := f.Eval(tt.assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Eval = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if _, err := f.Eval([]bool{false, true}); err == nil {
+		t.Error("Eval with short assignment should error")
+	}
+}
+
+func TestFormulaValidate(t *testing.T) {
+	var f Formula
+	f.AddClause(1, -2)
+	if err := f.Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+	f.Clauses = append(f.Clauses, Clause{0})
+	if err := f.Validate(); err == nil {
+		t.Error("zero literal accepted")
+	}
+	f.Clauses = []Clause{{Lit(10)}}
+	f.NumVars = 2
+	if err := f.Validate(); err == nil {
+		t.Error("out-of-range literal accepted")
+	}
+	f.Clauses = []Clause{{}}
+	if err := f.Validate(); err != nil {
+		t.Errorf("empty clause should be structurally valid: %v", err)
+	}
+}
+
+func TestFormulaClone(t *testing.T) {
+	var f Formula
+	f.AddClause(1, 2)
+	clone := f.Clone()
+	clone.Clauses[0][0] = -9
+	if f.Clauses[0][0] != 1 {
+		t.Error("Clone shares clause storage")
+	}
+}
+
+func TestWCNFBasics(t *testing.T) {
+	var w WCNF
+	w.AddHard(1, 2)
+	w.AddSoft(5, -1)
+	w.AddSoft(7, -2)
+	if w.NumVars != 2 {
+		t.Errorf("NumVars = %d", w.NumVars)
+	}
+	if w.TotalSoftWeight() != 12 {
+		t.Errorf("TotalSoftWeight = %d", w.TotalSoftWeight())
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+
+	cost, err := w.Cost([]bool{false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5 { // x1 true falsifies soft(-1) of weight 5
+		t.Errorf("Cost = %d, want 5", cost)
+	}
+	if _, err := w.Cost([]bool{false, false, false}); err == nil {
+		t.Error("Cost on hard-violating assignment should error")
+	}
+}
+
+func TestWCNFValidateErrors(t *testing.T) {
+	w := &WCNF{NumVars: 1, Soft: []SoftClause{{Clause: Clause{1}, Weight: 0}}}
+	if err := w.Validate(); err == nil {
+		t.Error("zero weight accepted")
+	}
+	w = &WCNF{NumVars: 1, Hard: []Clause{{0}}}
+	if err := w.Validate(); err == nil {
+		t.Error("zero literal accepted")
+	}
+	w = &WCNF{NumVars: 1, Soft: []SoftClause{{Clause: Clause{5}, Weight: 1}}}
+	if err := w.Validate(); err == nil {
+		t.Error("out-of-range soft literal accepted")
+	}
+}
+
+func TestWCNFClone(t *testing.T) {
+	var w WCNF
+	w.AddHard(1, 2)
+	w.AddSoft(3, -1)
+	clone := w.Clone()
+	clone.Hard[0][0] = 9
+	clone.Soft[0].Clause[0] = 9
+	if w.Hard[0][0] != 1 || w.Soft[0].Clause[0] != -1 {
+		t.Error("Clone shares storage")
+	}
+}

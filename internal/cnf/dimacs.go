@@ -1,0 +1,99 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS writes the formula in DIMACS CNF format, the standard SAT
+// solver interchange format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, clause := range f.Clauses {
+		for _, l := range clause {
+			bw.WriteString(strconv.Itoa(int(l)))
+			bw.WriteByte(' ')
+		}
+		bw.WriteString("0\n")
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("cnf: write dimacs: %w", err)
+	}
+	return nil
+}
+
+// ReadDIMACS parses a DIMACS CNF file. Comment lines ('c ...') are
+// skipped; the problem line is validated against the clause count.
+func ReadDIMACS(r io.Reader) (*Formula, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var (
+		formula     Formula
+		declVars    int
+		declClauses int
+		sawProblem  bool
+	)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if sawProblem {
+				return nil, fmt.Errorf("cnf: line %d: duplicate problem line", lineNo)
+			}
+			n, err := fmt.Sscanf(line, "p cnf %d %d", &declVars, &declClauses)
+			if err != nil || n != 2 {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			sawProblem = true
+			continue
+		}
+		clause, err := parseClauseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("cnf: line %d: %w", lineNo, err)
+		}
+		formula.Clauses = append(formula.Clauses, clause)
+		for _, l := range clause {
+			if v := l.Var(); v > formula.NumVars {
+				formula.NumVars = v
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read dimacs: %w", err)
+	}
+	if !sawProblem {
+		return nil, fmt.Errorf("cnf: missing problem line")
+	}
+	if declClauses != len(formula.Clauses) {
+		return nil, fmt.Errorf("cnf: problem line declares %d clauses, found %d", declClauses, len(formula.Clauses))
+	}
+	if formula.NumVars > declVars {
+		return nil, fmt.Errorf("cnf: literal references variable %d beyond declared %d", formula.NumVars, declVars)
+	}
+	formula.NumVars = declVars
+	return &formula, nil
+}
+
+func parseClauseLine(line string) (Clause, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[len(fields)-1] != "0" {
+		return nil, fmt.Errorf("clause not terminated by 0: %q", line)
+	}
+	clause := make(Clause, 0, len(fields)-1)
+	for _, f := range fields[:len(fields)-1] {
+		v, err := strconv.Atoi(f)
+		if err != nil || v == 0 {
+			return nil, fmt.Errorf("bad literal %q", f)
+		}
+		clause = append(clause, Lit(v))
+	}
+	return clause, nil
+}

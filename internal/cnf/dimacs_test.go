@@ -1,0 +1,204 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	var f Formula
+	f.AddClause(1, -2, 3)
+	f.AddClause(-1)
+	f.AddClause(2, 4)
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != f.NumVars || len(back.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip changed shape: %d/%d vars, %d/%d clauses",
+			f.NumVars, back.NumVars, len(f.Clauses), len(back.Clauses))
+	}
+	for i := range f.Clauses {
+		if len(f.Clauses[i]) != len(back.Clauses[i]) {
+			t.Fatalf("clause %d length differs", i)
+		}
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != back.Clauses[i][j] {
+				t.Fatalf("clause %d literal %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadDIMACSComments(t *testing.T) {
+	src := "c a comment\np cnf 3 2\n1 -2 0\nc another\n3 0\n"
+	f, err := ReadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Errorf("got %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"no problem line", "1 2 0\n"},
+		{"malformed problem", "p cnf x y\n"},
+		{"duplicate problem", "p cnf 1 0\np cnf 1 0\n"},
+		{"unterminated clause", "p cnf 2 1\n1 2\n"},
+		{"bad literal", "p cnf 2 1\n1 q 0\n"},
+		{"clause count mismatch", "p cnf 2 2\n1 0\n"},
+		{"vars exceeded", "p cnf 1 1\n2 0\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadDIMACS(strings.NewReader(tt.give)); err == nil {
+				t.Error("expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestWCNFRoundTrip(t *testing.T) {
+	var w WCNF
+	w.AddHard(1, 2, -3)
+	w.AddHard(-1, 3)
+	w.AddSoft(10, -1)
+	w.AddSoft(7, -2, 3)
+	var buf bytes.Buffer
+	if err := w.WriteWCNF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWCNF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != w.NumVars {
+		t.Errorf("NumVars %d vs %d", back.NumVars, w.NumVars)
+	}
+	if len(back.Hard) != 2 || len(back.Soft) != 2 {
+		t.Fatalf("got %d hard %d soft", len(back.Hard), len(back.Soft))
+	}
+	if back.Soft[0].Weight != 10 || back.Soft[1].Weight != 7 {
+		t.Errorf("weights %d, %d", back.Soft[0].Weight, back.Soft[1].Weight)
+	}
+	if back.TotalSoftWeight() != w.TotalSoftWeight() {
+		t.Error("soft weight changed in round trip")
+	}
+}
+
+func TestReadWCNFErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"no problem line", "5 1 0\n"},
+		{"clause before problem", "1 1 0\np wcnf 1 1 10\n"},
+		{"malformed problem", "p wcnf a b c\n"},
+		{"bad weight", "p wcnf 1 1 10\n-3 1 0\n"},
+		{"unterminated", "p wcnf 1 1 10\n5 1\n"},
+		{"count mismatch", "p wcnf 1 2 10\n5 1 0\n"},
+		{"vars exceeded", "p wcnf 1 1 10\n5 2 0\n"},
+		{"duplicate problem", "p wcnf 1 0 10\np wcnf 1 0 10\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadWCNF(strings.NewReader(tt.give)); err == nil {
+				t.Error("expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestWCNF2022RoundTrip(t *testing.T) {
+	var w WCNF
+	w.AddHard(1, 2, -3)
+	w.AddHard(-1, 3)
+	w.AddSoft(10, -1)
+	w.AddSoft(7, -2, 3)
+	var buf bytes.Buffer
+	if err := w.WriteWCNF2022(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "h 1 2 -3 0\n") || !strings.Contains(text, "10 -1 0\n") {
+		t.Fatalf("unexpected 2022 output:\n%s", text)
+	}
+	back, err := ReadWCNF2022(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != w.NumVars || len(back.Hard) != 2 || len(back.Soft) != 2 {
+		t.Errorf("round trip shape: %d vars, %d hard, %d soft", back.NumVars, len(back.Hard), len(back.Soft))
+	}
+	if back.Soft[0].Weight != 10 || back.Soft[1].Weight != 7 {
+		t.Errorf("weights lost: %d, %d", back.Soft[0].Weight, back.Soft[1].Weight)
+	}
+}
+
+func TestReadWCNF2022Errors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"problem line", "p wcnf 1 1 10\nh 1 0\n"},
+		{"bad weight", "x 1 0\n"},
+		{"unterminated hard", "h 1 2\n"},
+		{"unterminated soft", "5 1 2\n"},
+		{"zero weight", "0 1 0\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadWCNF2022(strings.NewReader(tt.give)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadWCNFAuto(t *testing.T) {
+	classic := "p wcnf 2 2 10\n10 1 0\n3 -2 0\n"
+	modern := "c comment\nh 1 0\n3 -2 0\n"
+	for _, tt := range []struct {
+		name, give string
+	}{{"classic", classic}, {"2022", modern}} {
+		t.Run(tt.name, func(t *testing.T) {
+			w, err := ReadWCNFAuto(strings.NewReader(tt.give))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w.Hard) != 1 || len(w.Soft) != 1 || w.Soft[0].Weight != 3 {
+				t.Errorf("parsed shape wrong: %+v", w)
+			}
+		})
+	}
+	if _, err := ReadWCNFAuto(strings.NewReader("c only comments\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestWCNFHardWeightIsTop(t *testing.T) {
+	var w WCNF
+	w.AddHard(1)
+	w.AddSoft(3, -1)
+	var buf bytes.Buffer
+	if err := w.WriteWCNF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "p wcnf 1 2 4\n") {
+		t.Errorf("problem line: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "4 1 0\n") {
+		t.Errorf("hard clause should carry top weight 4:\n%s", out)
+	}
+}

@@ -1,0 +1,178 @@
+package cnf
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genFormula is a quick.Generator for small random CNF formulas.
+type genFormula struct {
+	F *Formula
+}
+
+// Generate implements quick.Generator.
+func (genFormula) Generate(r *rand.Rand, _ int) reflect.Value {
+	numVars := 1 + r.Intn(12)
+	numClauses := r.Intn(30)
+	f := &Formula{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		k := 1 + r.Intn(4)
+		clause := make([]Lit, k)
+		for j := range clause {
+			l := Lit(r.Intn(numVars) + 1)
+			if r.Intn(2) == 0 {
+				l = -l
+			}
+			clause[j] = l
+		}
+		f.AddClause(clause...)
+	}
+	return reflect.ValueOf(genFormula{F: f})
+}
+
+// genWCNF is a quick.Generator for small random WPMS instances.
+type genWCNF struct {
+	W *WCNF
+}
+
+// Generate implements quick.Generator.
+func (genWCNF) Generate(r *rand.Rand, _ int) reflect.Value {
+	numVars := 1 + r.Intn(10)
+	w := &WCNF{NumVars: numVars}
+	for i := r.Intn(12); i > 0; i-- {
+		w.AddHard(randomLits(r, numVars)...)
+	}
+	for i := 1 + r.Intn(12); i > 0; i-- {
+		w.AddSoft(int64(1+r.Intn(1_000_000)), randomLits(r, numVars)...)
+	}
+	return reflect.ValueOf(genWCNF{W: w})
+}
+
+func randomLits(r *rand.Rand, numVars int) []Lit {
+	k := 1 + r.Intn(3)
+	out := make([]Lit, k)
+	for i := range out {
+		l := Lit(r.Intn(numVars) + 1)
+		if r.Intn(2) == 0 {
+			l = -l
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(103))}
+}
+
+// TestQuickDIMACSRoundTrip: write→read preserves the formula exactly.
+func TestQuickDIMACSRoundTrip(t *testing.T) {
+	property := func(g genFormula) bool {
+		var buf bytes.Buffer
+		if err := g.F.WriteDIMACS(&buf); err != nil {
+			return false
+		}
+		back, err := ReadDIMACS(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVars != g.F.NumVars || len(back.Clauses) != len(g.F.Clauses) {
+			return false
+		}
+		for i := range g.F.Clauses {
+			if !reflect.DeepEqual(g.F.Clauses[i], back.Clauses[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWCNFRoundTrip: WCNF write→read preserves clauses, weights
+// and the hard/soft split.
+func TestQuickWCNFRoundTrip(t *testing.T) {
+	property := func(g genWCNF) bool {
+		var buf bytes.Buffer
+		if err := g.W.WriteWCNF(&buf); err != nil {
+			return false
+		}
+		back, err := ReadWCNF(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVars != g.W.NumVars ||
+			len(back.Hard) != len(g.W.Hard) ||
+			len(back.Soft) != len(g.W.Soft) {
+			return false
+		}
+		for i := range g.W.Soft {
+			if back.Soft[i].Weight != g.W.Soft[i].Weight {
+				return false
+			}
+			if !reflect.DeepEqual(back.Soft[i].Clause, g.W.Soft[i].Clause) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneIndependence: mutating a clone never affects the
+// original.
+func TestQuickCloneIndependence(t *testing.T) {
+	property := func(g genFormula) bool {
+		if len(g.F.Clauses) == 0 {
+			return true
+		}
+		clone := g.F.Clone()
+		orig := g.F.Clauses[0][0]
+		clone.Clauses[0][0] = orig + 1000
+		return g.F.Clauses[0][0] == orig
+	}
+	if err := quick.Check(property, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCostNeverExceedsTotal: any hard-satisfying assignment costs
+// at most the total soft weight.
+func TestQuickCostNeverExceedsTotal(t *testing.T) {
+	property := func(g genWCNF, pattern uint64) bool {
+		assign := make([]bool, g.W.NumVars+1)
+		for v := 1; v <= g.W.NumVars; v++ {
+			assign[v] = pattern&(1<<uint(v-1)) != 0
+		}
+		cost, err := g.W.Cost(assign)
+		if err != nil {
+			return true // hard clauses violated: nothing to check
+		}
+		return cost >= 0 && cost <= g.W.TotalSoftWeight()
+	}
+	if err := quick.Check(property, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLitInvolution: literal negation is an involution that
+// preserves the variable.
+func TestQuickLitInvolution(t *testing.T) {
+	property := func(raw int32) bool {
+		if raw == 0 {
+			return true
+		}
+		l := Lit(raw)
+		return l.Neg().Neg() == l && l.Neg().Var() == l.Var() && l.Neg().Pos() != l.Pos()
+	}
+	if err := quick.Check(property, qcfg()); err != nil {
+		t.Error(err)
+	}
+}

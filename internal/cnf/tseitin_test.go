@@ -1,0 +1,252 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpmcs4fta/internal/boolexpr"
+)
+
+// projectedModels enumerates all models of the encoding projected onto
+// the input variables, as a set of bitmask keys over VarOrder-style
+// ordering (Names[1..NumInputVars]).
+func projectedModels(t *testing.T, enc *Encoding) map[uint64]bool {
+	t.Helper()
+	models := make(map[uint64]bool)
+	n := enc.Formula.NumVars
+	if n > 22 {
+		t.Fatalf("formula too large for exhaustive check: %d vars", n)
+	}
+	assign := make([]bool, n+1)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<uint(v-1)) != 0
+		}
+		ok, err := enc.Formula.Eval(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			var key uint64
+			for v := 1; v <= enc.NumInputVars; v++ {
+				if assign[v] {
+					key |= 1 << uint(v-1)
+				}
+			}
+			models[key] = true
+		}
+	}
+	return models
+}
+
+// exprModels enumerates the models of e over the encoding's input
+// variable ordering.
+func exprModels(enc *Encoding, e boolexpr.Expr) map[uint64]bool {
+	models := make(map[uint64]bool)
+	n := enc.NumInputVars
+	assign := make(map[string]bool, n)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			assign[enc.Names[v]] = mask&(1<<uint(v-1)) != 0
+		}
+		if e.Eval(assign) {
+			models[mask] = true
+		}
+	}
+	return models
+}
+
+// assertFaithful checks that the projection of the CNF's models onto the
+// input variables equals the models of the source expression — a
+// property strictly stronger than equisatisfiability and exactly what
+// the MPMCS pipeline needs.
+func assertFaithful(t *testing.T, e boolexpr.Expr, opts TseitinOptions) {
+	t.Helper()
+	enc, err := Tseitin(e, opts)
+	if err != nil {
+		t.Fatalf("Tseitin(%v): %v", e, err)
+	}
+	if err := enc.Formula.Validate(); err != nil {
+		t.Fatalf("encoding invalid: %v", err)
+	}
+	got := projectedModels(t, enc)
+	want := exprModels(enc, e)
+	if len(got) != len(want) {
+		t.Fatalf("Tseitin(%v) pg=%v: %d projected models, want %d", e, opts.PlaistedGreenbaum, len(got), len(want))
+	}
+	for m := range want {
+		if !got[m] {
+			t.Fatalf("Tseitin(%v) pg=%v: model %b missing", e, opts.PlaistedGreenbaum, m)
+		}
+	}
+}
+
+func TestTseitinFPS(t *testing.T) {
+	f := boolexpr.NewOr(
+		boolexpr.NewAnd(boolexpr.V("x1"), boolexpr.V("x2")),
+		boolexpr.NewOr(
+			boolexpr.V("x3"),
+			boolexpr.V("x4"),
+			boolexpr.NewAnd(boolexpr.V("x5"), boolexpr.NewOr(boolexpr.V("x6"), boolexpr.V("x7"))),
+		),
+	)
+	for _, pg := range []bool{false, true} {
+		assertFaithful(t, f, TseitinOptions{PlaistedGreenbaum: pg})
+	}
+}
+
+func TestTseitinRandomExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cfg := boolexpr.DefaultRandomConfig()
+	cfg.NumVars = 4
+	cfg.MaxDepth = 4
+	cfg.MaxFanIn = 3
+	cfg.AllowConst = true
+	for trial := 0; trial < 120; trial++ {
+		e := boolexpr.Random(rng, cfg)
+		if Size := boolexpr.Size(e); Size > 40 {
+			continue // keep the exhaustive check fast
+		}
+		assertFaithful(t, e, TseitinOptions{})
+		assertFaithful(t, e, TseitinOptions{PlaistedGreenbaum: true})
+	}
+}
+
+func TestTseitinThreshold(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		for k := 1; k <= n; k++ {
+			xs := make([]boolexpr.Expr, n)
+			names := make([]string, n)
+			for i := range xs {
+				names[i] = "e" + string(rune('a'+i))
+				xs[i] = boolexpr.V(names[i])
+			}
+			e := boolexpr.AtLeast{K: k, Xs: xs}
+			assertFaithful(t, e, TseitinOptions{VarOrder: names})
+			assertFaithful(t, e, TseitinOptions{PlaistedGreenbaum: true, VarOrder: names})
+		}
+	}
+}
+
+func TestTseitinConstants(t *testing.T) {
+	encTrue, err := Tseitin(boolexpr.True, TseitinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := false
+	n := encTrue.Formula.NumVars
+	assign := make([]bool, n+1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if ok, _ := encTrue.Formula.Eval(assign); ok {
+			sat = true
+		}
+	}
+	if !sat {
+		t.Error("encoding of true is unsatisfiable")
+	}
+
+	encFalse, err := Tseitin(boolexpr.False, TseitinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n = encFalse.Formula.NumVars
+	assign = make([]bool, n+1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if ok, _ := encFalse.Formula.Eval(assign); ok {
+			t.Fatal("encoding of false is satisfiable")
+		}
+	}
+}
+
+func TestTseitinVarOrder(t *testing.T) {
+	e := boolexpr.NewAnd(boolexpr.V("b"), boolexpr.V("a"), boolexpr.V("c"))
+	enc, err := Tseitin(e, TseitinOptions{VarOrder: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.VarOf["a"] != 1 || enc.VarOf["b"] != 2 || enc.VarOf["c"] != 3 {
+		t.Errorf("VarOf = %v, want a=1 b=2 c=3", enc.VarOf)
+	}
+	if enc.NumInputVars != 3 {
+		t.Errorf("NumInputVars = %d", enc.NumInputVars)
+	}
+	if enc.Names[1] != "a" || enc.Names[2] != "b" || enc.Names[3] != "c" {
+		t.Errorf("Names = %v", enc.Names)
+	}
+}
+
+func TestTseitinVarOrderWithExtraVars(t *testing.T) {
+	// Variables not named in VarOrder get subsequent indices.
+	e := boolexpr.NewOr(boolexpr.V("z"), boolexpr.V("a"))
+	enc, err := Tseitin(e, TseitinOptions{VarOrder: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.VarOf["a"] != 1 || enc.VarOf["z"] != 2 {
+		t.Errorf("VarOf = %v", enc.VarOf)
+	}
+}
+
+func TestTseitinSharesIdenticalSubtrees(t *testing.T) {
+	// (a&b) | ((a&b) & c): the conjunction a&b must be encoded once.
+	shared := boolexpr.NewAnd(boolexpr.V("a"), boolexpr.V("b"))
+	e := boolexpr.NewOr(shared, boolexpr.NewAnd(shared, boolexpr.V("c")))
+	enc, err := Tseitin(e, TseitinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input vars a,b,c plus aux for (a&b), ((a&b)&c), and the root or:
+	// 6 variables total. Without sharing there would be 7+.
+	if enc.Formula.NumVars > 6 {
+		t.Errorf("encoding uses %d vars; sharing failed", enc.Formula.NumVars)
+	}
+	assertFaithful(t, e, TseitinOptions{})
+}
+
+func TestTseitinPGSmaller(t *testing.T) {
+	// On a monotone formula PG must emit no more clauses than full
+	// Tseitin, and strictly fewer for non-trivial gates.
+	f := boolexpr.NewOr(
+		boolexpr.NewAnd(boolexpr.V("x1"), boolexpr.V("x2")),
+		boolexpr.NewAnd(boolexpr.V("x3"), boolexpr.NewOr(boolexpr.V("x4"), boolexpr.V("x5"))),
+	)
+	full, err := Tseitin(f, TseitinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := Tseitin(f, TseitinOptions{PlaistedGreenbaum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Formula.NumClauses() >= full.Formula.NumClauses() {
+		t.Errorf("PG clauses = %d, full = %d; expected strictly fewer",
+			pg.Formula.NumClauses(), full.Formula.NumClauses())
+	}
+}
+
+func TestTseitinBadThreshold(t *testing.T) {
+	// boolexpr.Simplify normalises out-of-range thresholds, but a raw
+	// AtLeast below two operands with k in range must still encode.
+	e := boolexpr.AtLeast{K: 2, Xs: []boolexpr.Expr{boolexpr.V("a"), boolexpr.V("b"), boolexpr.V("c")}}
+	if _, err := Tseitin(e, TseitinOptions{}); err != nil {
+		t.Fatalf("valid threshold rejected: %v", err)
+	}
+}
+
+func TestTseitinRootIsUnit(t *testing.T) {
+	e := boolexpr.NewAnd(boolexpr.V("a"), boolexpr.V("b"))
+	enc, err := Tseitin(e, TseitinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := enc.Formula.Clauses[len(enc.Formula.Clauses)-1]
+	if len(last) != 1 || last[0] != enc.Root {
+		t.Errorf("root not asserted as final unit clause: %v (root %v)", last, enc.Root)
+	}
+}

@@ -1,0 +1,318 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SoftClause is a clause that may be falsified at a cost.
+type SoftClause struct {
+	Clause Clause
+	Weight int64
+}
+
+// WCNF is a Weighted Partial MaxSAT instance: hard clauses that must be
+// satisfied plus weighted soft clauses whose total falsified weight is to
+// be minimised. This is the object produced by Step 4 of the paper's
+// pipeline and consumed by internal/maxsat.
+type WCNF struct {
+	NumVars int
+	Hard    []Clause
+	Soft    []SoftClause
+}
+
+// AddHard appends a hard clause (copied).
+func (w *WCNF) AddHard(lits ...Lit) {
+	clause := make(Clause, len(lits))
+	copy(clause, lits)
+	w.Hard = append(w.Hard, clause)
+	w.growVars(clause)
+}
+
+// AddSoft appends a soft clause (copied) with the given weight.
+func (w *WCNF) AddSoft(weight int64, lits ...Lit) {
+	clause := make(Clause, len(lits))
+	copy(clause, lits)
+	w.Soft = append(w.Soft, SoftClause{Clause: clause, Weight: weight})
+	w.growVars(clause)
+}
+
+func (w *WCNF) growVars(clause Clause) {
+	for _, l := range clause {
+		if v := l.Var(); v > w.NumVars {
+			w.NumVars = v
+		}
+	}
+}
+
+// TotalSoftWeight returns the sum of all soft weights.
+func (w *WCNF) TotalSoftWeight() int64 {
+	var total int64
+	for _, s := range w.Soft {
+		total += s.Weight
+	}
+	return total
+}
+
+// Cost returns the total weight of soft clauses falsified by the
+// assignment, or an error if the assignment violates a hard clause or is
+// too short.
+func (w *WCNF) Cost(assign []bool) (int64, error) {
+	hard := Formula{NumVars: w.NumVars, Clauses: w.Hard}
+	ok, err := hard.Eval(assign)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("cnf: assignment violates a hard clause")
+	}
+	var cost int64
+	for _, s := range w.Soft {
+		satisfied := false
+		for _, l := range s.Clause {
+			if v := l.Var(); v < len(assign) && assign[v] == l.Pos() {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			cost += s.Weight
+		}
+	}
+	return cost, nil
+}
+
+// Clone returns a deep copy of the instance.
+func (w *WCNF) Clone() *WCNF {
+	out := &WCNF{NumVars: w.NumVars}
+	out.Hard = make([]Clause, len(w.Hard))
+	for i, c := range w.Hard {
+		out.Hard[i] = append(Clause(nil), c...)
+	}
+	out.Soft = make([]SoftClause, len(w.Soft))
+	for i, s := range w.Soft {
+		out.Soft[i] = SoftClause{Clause: append(Clause(nil), s.Clause...), Weight: s.Weight}
+	}
+	return out
+}
+
+// Validate checks literal ranges and that soft weights are positive.
+func (w *WCNF) Validate() error {
+	check := func(clause Clause, kind string, i int) error {
+		for _, l := range clause {
+			if l == 0 {
+				return fmt.Errorf("cnf: %s clause %d contains literal 0", kind, i)
+			}
+			if v := l.Var(); v > w.NumVars {
+				return fmt.Errorf("cnf: %s clause %d references variable %d > NumVars %d", kind, i, v, w.NumVars)
+			}
+		}
+		return nil
+	}
+	for i, c := range w.Hard {
+		if err := check(c, "hard", i); err != nil {
+			return err
+		}
+	}
+	for i, s := range w.Soft {
+		if err := check(s.Clause, "soft", i); err != nil {
+			return err
+		}
+		if s.Weight <= 0 {
+			return fmt.Errorf("cnf: soft clause %d has non-positive weight %d", i, s.Weight)
+		}
+	}
+	return nil
+}
+
+// WriteWCNF writes the instance in the classic DIMACS WCNF format
+// ("p wcnf nvars nclauses top"), where hard clauses carry the top weight.
+func (w *WCNF) WriteWCNF(out io.Writer) error {
+	top := w.TotalSoftWeight() + 1
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "p wcnf %d %d %d\n", w.NumVars, len(w.Hard)+len(w.Soft), top)
+	writeClause := func(weight int64, clause Clause) {
+		bw.WriteString(strconv.FormatInt(weight, 10))
+		for _, l := range clause {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(int(l)))
+		}
+		bw.WriteString(" 0\n")
+	}
+	for _, c := range w.Hard {
+		writeClause(top, c)
+	}
+	for _, s := range w.Soft {
+		writeClause(s.Weight, s.Clause)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("cnf: write wcnf: %w", err)
+	}
+	return nil
+}
+
+// WriteWCNF2022 writes the instance in the 2022 MaxSAT-evaluation WCNF
+// format: no problem line, hard clauses prefixed with "h", soft clauses
+// with their weight.
+func (w *WCNF) WriteWCNF2022(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "c %d vars, %d hard, %d soft\n", w.NumVars, len(w.Hard), len(w.Soft))
+	for _, c := range w.Hard {
+		bw.WriteByte('h')
+		for _, l := range c {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(int(l)))
+		}
+		bw.WriteString(" 0\n")
+	}
+	for _, s := range w.Soft {
+		bw.WriteString(strconv.FormatInt(s.Weight, 10))
+		for _, l := range s.Clause {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.Itoa(int(l)))
+		}
+		bw.WriteString(" 0\n")
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("cnf: write wcnf: %w", err)
+	}
+	return nil
+}
+
+// ReadWCNF2022 parses the 2022 MaxSAT-evaluation WCNF format ("h"
+// prefix for hard clauses, leading weight for soft clauses, no problem
+// line).
+func ReadWCNF2022(r io.Reader) (*WCNF, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var w WCNF
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			return nil, fmt.Errorf("cnf: line %d: problem line not allowed in 2022 WCNF format", lineNo)
+		}
+		if strings.HasPrefix(line, "h") {
+			clause, err := parseClauseLine(strings.TrimSpace(line[1:]))
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: %w", lineNo, err)
+			}
+			w.Hard = append(w.Hard, clause)
+			w.growVars(clause)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[len(fields)-1] != "0" {
+			return nil, fmt.Errorf("cnf: line %d: malformed clause %q", lineNo, line)
+		}
+		weight, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || weight <= 0 {
+			return nil, fmt.Errorf("cnf: line %d: bad weight %q", lineNo, fields[0])
+		}
+		clause, err := parseClauseLine(strings.Join(fields[1:], " "))
+		if err != nil {
+			return nil, fmt.Errorf("cnf: line %d: %w", lineNo, err)
+		}
+		w.Soft = append(w.Soft, SoftClause{Clause: clause, Weight: weight})
+		w.growVars(clause)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read wcnf: %w", err)
+	}
+	return &w, nil
+}
+
+// ReadWCNFAuto detects the WCNF dialect: the classic format when a
+// "p wcnf" problem line appears first, the 2022 format otherwise.
+func ReadWCNFAuto(r io.Reader) (*WCNF, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("cnf: read wcnf: %w", err)
+	}
+	for _, rawLine := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(rawLine)
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			return ReadWCNF(strings.NewReader(string(data)))
+		}
+		return ReadWCNF2022(strings.NewReader(string(data)))
+	}
+	return nil, fmt.Errorf("cnf: empty WCNF input")
+}
+
+// ReadWCNF parses the classic DIMACS WCNF format. Clauses whose weight
+// equals (or exceeds) the declared top weight are hard.
+func ReadWCNF(r io.Reader) (*WCNF, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var (
+		w          WCNF
+		declVars   int
+		declNum    int
+		top        int64
+		sawProblem bool
+	)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if sawProblem {
+				return nil, fmt.Errorf("cnf: line %d: duplicate problem line", lineNo)
+			}
+			n, err := fmt.Sscanf(line, "p wcnf %d %d %d", &declVars, &declNum, &top)
+			if err != nil || n != 3 {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			sawProblem = true
+			continue
+		}
+		if !sawProblem {
+			return nil, fmt.Errorf("cnf: line %d: clause before problem line", lineNo)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[len(fields)-1] != "0" {
+			return nil, fmt.Errorf("cnf: line %d: malformed clause %q", lineNo, line)
+		}
+		weight, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || weight <= 0 {
+			return nil, fmt.Errorf("cnf: line %d: bad weight %q", lineNo, fields[0])
+		}
+		clause, err := parseClauseLine(strings.Join(fields[1:], " "))
+		if err != nil {
+			return nil, fmt.Errorf("cnf: line %d: %w", lineNo, err)
+		}
+		if weight >= top {
+			w.Hard = append(w.Hard, clause)
+		} else {
+			w.Soft = append(w.Soft, SoftClause{Clause: clause, Weight: weight})
+		}
+		w.growVars(clause)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read wcnf: %w", err)
+	}
+	if !sawProblem {
+		return nil, fmt.Errorf("cnf: missing problem line")
+	}
+	if len(w.Hard)+len(w.Soft) != declNum {
+		return nil, fmt.Errorf("cnf: problem line declares %d clauses, found %d", declNum, len(w.Hard)+len(w.Soft))
+	}
+	if w.NumVars > declVars {
+		return nil, fmt.Errorf("cnf: literal references variable %d beyond declared %d", w.NumVars, declVars)
+	}
+	w.NumVars = declVars
+	return &w, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mpmcs4fta/internal/bdd"
+	"mpmcs4fta/internal/ft"
+)
+
+// AnalyzeBDD computes the MPMCS with the BDD engine instead of MaxSAT:
+// build the structure function's ROBDD, extract the minimal-cut-set
+// family (Rauzy), and pick the maximum-probability member by dynamic
+// programming. This is the comparison baseline the paper names as
+// future work (Experiment E6 in DESIGN.md); it returns the same
+// Solution document with Method/Solver identifying the engine.
+//
+// Variables are ordered by depth-first traversal from the top event —
+// the standard fault-tree ordering heuristic: it keeps the events of
+// one subsystem adjacent, which the declared insertion order destroys
+// on generated workloads.
+func AnalyzeBDD(tree *ft.Tree, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	f, err := tree.Formula()
+	if err != nil {
+		return nil, err
+	}
+	events := tree.Events()
+	m, err := bdd.NewManager(tree.DFSEventOrder())
+	if err != nil {
+		return nil, err
+	}
+	m.SetNodeLimit(bdd.DefaultNodeLimit)
+	ref, err := m.FromExpr(f)
+	if err != nil {
+		return nil, err
+	}
+	cuts, err := m.MinimalCutSets(ref)
+	if err != nil {
+		return nil, err
+	}
+	if cuts == bdd.ZEmpty {
+		return nil, ErrNoCutSet
+	}
+	probs := tree.Probabilities()
+	set, prob := m.ZBestSet(cuts, probs)
+	if prob <= 0 {
+		return nil, ErrZeroProbability
+	}
+
+	weights := LogWeights(events, opts.Scale)
+	weightByID := make(map[string]EventWeight, len(weights))
+	for _, w := range weights {
+		weightByID[w.ID] = w
+	}
+	var (
+		logCost float64
+		members []SolutionEvent
+	)
+	for _, id := range set {
+		w := weightByID[id]
+		members = append(members, SolutionEvent{
+			ID:          id,
+			Description: tree.Event(id).Description,
+			Prob:        w.Prob,
+			Weight:      w.Weight,
+		})
+		logCost += w.Weight
+	}
+
+	stats := tree.Stats()
+	return &Solution{
+		Tree:        tree.Name(),
+		Method:      "BDD (Rauzy minimal cut sets)",
+		MPMCS:       members,
+		Probability: prob,
+		LogCost:     logCost,
+		Solver:      "bdd",
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		Stats: SolutionStats{
+			Events: stats.Events,
+			Gates:  stats.Gates,
+			Vars:   m.NumNodes(),
+		},
+		Weights: weights,
+	}, nil
+}
+
+// AnalyzeTopKBDD returns up to k minimal cut sets ranked by descending
+// probability, computed entirely on the BDD side: Rauzy cut-set family
+// plus exact best-first enumeration (bdd.ZTopSets). It is the
+// counterpart of AnalyzeTopK for cross-checking the MaxSAT
+// blocking-clause loop.
+func AnalyzeTopKBDD(tree *ft.Tree, k int, opts Options) ([]*Solution, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	f, err := tree.Formula()
+	if err != nil {
+		return nil, err
+	}
+	events := tree.Events()
+	m, err := bdd.NewManager(tree.DFSEventOrder())
+	if err != nil {
+		return nil, err
+	}
+	m.SetNodeLimit(bdd.DefaultNodeLimit)
+	ref, err := m.FromExpr(f)
+	if err != nil {
+		return nil, err
+	}
+	cuts, err := m.MinimalCutSets(ref)
+	if err != nil {
+		return nil, err
+	}
+	if cuts == bdd.ZEmpty {
+		return nil, ErrNoCutSet
+	}
+	ranked := m.ZTopSets(cuts, tree.Probabilities(), k)
+	elapsed := float64(time.Since(start).Microseconds()) / 1000
+
+	weights := LogWeights(events, opts.Scale)
+	weightByID := make(map[string]EventWeight, len(weights))
+	for _, w := range weights {
+		weightByID[w.ID] = w
+	}
+	stats := tree.Stats()
+	out := make([]*Solution, 0, len(ranked))
+	for _, r := range ranked {
+		var (
+			members []SolutionEvent
+			logCost float64
+		)
+		for _, id := range r.Set {
+			w := weightByID[id]
+			members = append(members, SolutionEvent{
+				ID:          id,
+				Description: tree.Event(id).Description,
+				Prob:        w.Prob,
+				Weight:      w.Weight,
+			})
+			logCost += w.Weight
+		}
+		out = append(out, &Solution{
+			Tree:        tree.Name(),
+			Method:      "BDD (Rauzy minimal cut sets)",
+			MPMCS:       members,
+			Probability: r.Prob,
+			LogCost:     logCost,
+			Solver:      "bdd",
+			ElapsedMS:   elapsed,
+			Stats: SolutionStats{
+				Events: stats.Events,
+				Gates:  stats.Gates,
+				Vars:   m.NumNodes(),
+			},
+			Weights: weights,
+		})
+	}
+	return out, nil
+}
+
+// mpmcsEqualProb reports whether two solutions agree on the MPMCS
+// probability within floating-point tolerance — used by tests and the
+// benchmark harness to cross-check MaxSAT against the BDD baseline
+// (ties between distinct cut sets of equal probability are legitimate).
+func mpmcsEqualProb(a, b *Solution) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	larger := math.Max(math.Abs(a.Probability), math.Abs(b.Probability))
+	return math.Abs(a.Probability-b.Probability) <= 1e-9*math.Max(larger, 1e-300)
+}

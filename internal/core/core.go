@@ -1,0 +1,351 @@
+// Package core implements the paper's contribution: computing the
+// Maximum Probability Minimal Cut Set (MPMCS) of a fault tree by
+// reduction to Weighted Partial MaxSAT, solved by a parallel portfolio.
+//
+// The six steps of the resolution method map to this package as
+// follows:
+//
+//	Step 1 (logical transformation)  — Steps.SuccessFormula via boolexpr.Dual
+//	Step 2 (CNF conversion)          — Steps.Encoding via cnf.Tseitin
+//	Step 3 (−log weights)            — Steps.Weights via LogWeights
+//	Step 4 (WPMS instance)           — Steps.Instance (hard CNF + unit softs)
+//	Step 5 (parallel resolution)     — portfolio.Solve
+//	Step 6 (reverse transformation)  — exp(−Σ wᵢ) over the chosen events
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mpmcs4fta/internal/boolexpr"
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/maxsat"
+	"mpmcs4fta/internal/portfolio"
+)
+
+// DefaultScale converts float −log weights to the integer weights used
+// by the MaxSAT engines: wᵢ(int) = round(wᵢ · DefaultScale). At 1e7 the
+// rounding error per event is below 5e-8 in log space, far finer than
+// any realistic probability estimate.
+const DefaultScale = 1e7
+
+// Sentinel errors.
+var (
+	// ErrNoCutSet is returned when the top event cannot occur at all
+	// (no cut set exists under the given constraints).
+	ErrNoCutSet = errors.New("core: fault tree has no cut set")
+	// ErrZeroProbability is returned when every cut set has probability
+	// zero (all involve impossible events).
+	ErrZeroProbability = errors.New("core: all cut sets have probability zero")
+)
+
+// Options configures the pipeline. The zero value selects defaults.
+type Options struct {
+	// Engines is the Step-5 portfolio; nil selects
+	// portfolio.DefaultEngines().
+	Engines []portfolio.Engine
+	// Sequential runs the engines one at a time (deterministic winner,
+	// useful for tests and per-engine benchmarking).
+	Sequential bool
+	// Scale overrides DefaultScale.
+	Scale float64
+	// PlaistedGreenbaum selects the polarity-aware CNF encoding in
+	// Step 2.
+	PlaistedGreenbaum bool
+	// Timeout bounds the whole analysis (0 = none).
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engines == nil {
+		o.Engines = portfolio.DefaultEngines()
+	}
+	if o.Scale == 0 {
+		o.Scale = DefaultScale
+	}
+	return o
+}
+
+// EventWeight is one row of the paper's Table I: an event probability
+// and its −log transform (both the exact float and the scaled integer
+// actually handed to the MaxSAT engines).
+type EventWeight struct {
+	ID     string  `json:"id"`
+	Prob   float64 `json:"probability"`
+	Weight float64 `json:"weight"` // −ln(p)
+	Scaled int64   `json:"scaled"` // round(weight · scale); 0 marks a free (p=1) event
+	Hard   bool    `json:"hard"`   // p=0: the event can never fail
+}
+
+// Steps exposes the intermediate artefacts of Steps 1–4 so that
+// examples, tests and the CLI can show the pipeline at work.
+type Steps struct {
+	// FaultFormula is f(t), the structure function over event ids.
+	FaultFormula boolexpr.Expr
+	// SuccessFormula is Y(t): f(t) with gates flipped and variables
+	// positive (y = ¬x), per Step 1.
+	SuccessFormula boolexpr.Expr
+	// Encoding is the Tseitin CNF of ¬Y(t) over the y variables; the
+	// event ids occupy DIMACS variables 1..len(Weights) in Events()
+	// order (Step 2).
+	Encoding *cnf.Encoding
+	// Weights holds the Step-3 probability transform for every event.
+	Weights []EventWeight
+	// Instance is the Step-4 Weighted Partial MaxSAT instance: the hard
+	// CNF plus one positive unit soft clause (yᵢ) per fallible event.
+	Instance *cnf.WCNF
+}
+
+// BuildSteps runs Steps 1–4 of the pipeline.
+func BuildSteps(tree *ft.Tree, opts Options) (*Steps, error) {
+	opts = opts.withDefaults()
+	f, err := tree.Formula()
+	if err != nil {
+		return nil, err
+	}
+	success := boolexpr.Dual(f)
+
+	events := tree.Events()
+	order := make([]string, len(events))
+	for i, e := range events {
+		order[i] = e.ID
+	}
+	// ¬Y(t) over the y variables models the occurrence of the top event
+	// (Step 1); Tseitin converts it to CNF (Step 2).
+	enc, err := cnf.Tseitin(boolexpr.Not{X: success}, cnf.TseitinOptions{
+		PlaistedGreenbaum: opts.PlaistedGreenbaum,
+		VarOrder:          order,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: encode success tree: %w", err)
+	}
+
+	weights := LogWeights(events, opts.Scale)
+
+	instance := &cnf.WCNF{NumVars: enc.Formula.NumVars}
+	for _, clause := range enc.Formula.Clauses {
+		instance.AddHard(clause...)
+	}
+	for _, w := range weights {
+		y := cnf.Lit(enc.VarOf[w.ID])
+		switch {
+		case w.Hard:
+			// p = 0: the event cannot fail, i.e. yᵢ must hold.
+			instance.AddHard(y)
+		case w.Scaled > 0:
+			// Falsifying yᵢ (event fails) costs the −log weight.
+			instance.AddSoft(w.Scaled, y)
+		}
+		// Scaled == 0 (p = 1): the event fails freely at no cost; no
+		// clause is needed.
+	}
+	return &Steps{
+		FaultFormula:   f,
+		SuccessFormula: success,
+		Encoding:       enc,
+		Weights:        weights,
+		Instance:       instance,
+	}, nil
+}
+
+// LogWeights performs Step 3: wᵢ = −ln(p(xᵢ)), scaled to integers.
+// Events with p = 0 are marked Hard (they can never fail); events with
+// p = 1 get weight 0 (failing them is free). Weights that would round
+// to 0 for p < 1 are clamped to 1 to stay positive.
+func LogWeights(events []*ft.BasicEvent, scale float64) []EventWeight {
+	out := make([]EventWeight, len(events))
+	for i, e := range events {
+		w := EventWeight{ID: e.ID, Prob: e.Prob}
+		switch {
+		case e.Prob == 0:
+			w.Weight = math.Inf(1)
+			w.Hard = true
+		case e.Prob == 1:
+			w.Weight = 0
+			w.Scaled = 0
+		default:
+			w.Weight = -math.Log(e.Prob)
+			w.Scaled = int64(math.Round(w.Weight * scale))
+			if w.Scaled < 1 {
+				w.Scaled = 1
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// SolutionEvent is one MPMCS member in the solution document.
+type SolutionEvent struct {
+	ID          string  `json:"id"`
+	Description string  `json:"description,omitempty"`
+	Prob        float64 `json:"probability"`
+	Weight      float64 `json:"weight"`
+}
+
+// SolutionStats summarises instance sizes and solver effort.
+type SolutionStats struct {
+	Events      int `json:"events"`
+	Gates       int `json:"gates"`
+	Vars        int `json:"vars"`
+	HardClauses int `json:"hardClauses"`
+	SoftClauses int `json:"softClauses"`
+}
+
+// Solution is the analysis result — the content of the JSON document
+// the MPMCS4FTA tool emits (the paper's Fig. 2 artefact).
+type Solution struct {
+	Tree        string          `json:"tree"`
+	Method      string          `json:"method"`
+	MPMCS       []SolutionEvent `json:"mpmcs"`
+	Probability float64         `json:"probability"`
+	LogCost     float64         `json:"logCost"` // Σ wᵢ over the MPMCS
+	Solver      string          `json:"solver"`
+	ElapsedMS   float64         `json:"elapsedMillis"`
+	Stats       SolutionStats   `json:"stats"`
+	// Weights reproduces Table I: the Step-3 transform of every event.
+	Weights []EventWeight `json:"weights"`
+}
+
+// CutSetIDs returns the MPMCS member ids, sorted.
+func (s *Solution) CutSetIDs() []string {
+	ids := make([]string, len(s.MPMCS))
+	for i, e := range s.MPMCS {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Analyze computes the MPMCS of the tree via the full six-step
+// pipeline.
+func Analyze(ctx context.Context, tree *ft.Tree, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	steps, err := BuildSteps(tree, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, report, err := solveInstance(ctx, steps.Instance, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status == maxsat.Infeasible {
+		return nil, ErrNoCutSet
+	}
+	solution, err := buildSolution(tree, steps, res.Model, report.Winner)
+	if err != nil {
+		return nil, err
+	}
+	solution.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return solution, nil
+}
+
+func solveInstance(ctx context.Context, inst *cnf.WCNF, opts Options) (maxsat.Result, portfolio.Report, error) {
+	if opts.Sequential {
+		return portfolio.SolveSequential(ctx, inst, opts.Engines)
+	}
+	return portfolio.Solve(ctx, inst, opts.Engines)
+}
+
+// buildSolution extracts the cut set from a MaxSAT model (falsified y
+// variables = failed events), minimises it defensively, and performs
+// the Step-6 reverse transformation.
+func buildSolution(tree *ft.Tree, steps *Steps, model []bool, winner string) (*Solution, error) {
+	failed := make(map[string]bool, len(steps.Weights))
+	for _, w := range steps.Weights {
+		y := steps.Encoding.VarOf[w.ID]
+		if y < len(model) && !model[y] {
+			failed[w.ID] = true
+		}
+	}
+	set := minimizeCutSet(tree, failed)
+
+	weightByID := make(map[string]EventWeight, len(steps.Weights))
+	for _, w := range steps.Weights {
+		weightByID[w.ID] = w
+	}
+
+	var (
+		logCost float64
+		events  []SolutionEvent
+	)
+	probability := 1.0
+	for _, id := range set {
+		w := weightByID[id]
+		e := tree.Event(id)
+		events = append(events, SolutionEvent{
+			ID:          id,
+			Description: e.Description,
+			Prob:        w.Prob,
+			Weight:      w.Weight,
+		})
+		logCost += w.Weight
+		probability *= w.Prob
+	}
+	// Step 6: PF(t) = exp(−Σ wᵢ); equals the direct product up to
+	// floating-point round-off.
+	fromLog := math.Exp(-logCost)
+	if math.Abs(fromLog-probability) > 1e-9*math.Max(fromLog, probability) {
+		return nil, fmt.Errorf("core: reverse transform mismatch: exp(−Σw)=%v, ∏p=%v", fromLog, probability)
+	}
+
+	stats := tree.Stats()
+	return &Solution{
+		Tree:        tree.Name(),
+		Method:      "Weighted Partial MaxSAT",
+		MPMCS:       events,
+		Probability: probability,
+		LogCost:     logCost,
+		Solver:      winner,
+		Stats: SolutionStats{
+			Events:      stats.Events,
+			Gates:       stats.Gates,
+			Vars:        steps.Instance.NumVars,
+			HardClauses: len(steps.Instance.Hard),
+			SoftClauses: len(steps.Instance.Soft),
+		},
+		Weights: steps.Weights,
+	}, nil
+}
+
+// minimizeCutSet greedily removes unnecessary events; for coherent
+// trees the result is a minimal cut set. MaxSAT optima are already
+// minimal whenever every event has positive weight, so this is a cheap
+// defensive pass that also covers free (p=1) events.
+func minimizeCutSet(tree *ft.Tree, failed map[string]bool) []string {
+	ids := make([]string, 0, len(failed))
+	for id, isFailed := range failed {
+		if isFailed {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !failed[id] {
+			continue
+		}
+		failed[id] = false
+		still, err := tree.Eval(failed)
+		if err != nil || !still {
+			failed[id] = true
+		}
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		if failed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

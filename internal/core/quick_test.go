@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+	"mpmcs4fta/internal/mcs"
+	"mpmcs4fta/internal/quant"
+)
+
+// genTree is a quick.Generator producing small random fault trees.
+type genTree struct {
+	T *ft.Tree
+}
+
+// Generate implements quick.Generator.
+func (genTree) Generate(r *rand.Rand, _ int) reflect.Value {
+	tree, err := gen.Random(gen.Config{
+		Events:     4 + r.Intn(8),
+		Seed:       r.Int63(),
+		VotingFrac: 0.2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(genTree{T: tree})
+}
+
+func coreQuickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(113))}
+}
+
+// TestQuickSolutionIsMinimalCutSet: the pipeline's answer is always a
+// minimal cut set whose probability is the product of its members'.
+func TestQuickSolutionIsMinimalCutSet(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genTree) bool {
+		sol, err := Analyze(ctx, g.T, Options{Sequential: true})
+		if err != nil {
+			return false
+		}
+		minimal, err := mcs.IsMinimalCutSet(g.T, sol.CutSetIDs())
+		if err != nil || !minimal {
+			return false
+		}
+		product := 1.0
+		probs := g.T.Probabilities()
+		for _, id := range sol.CutSetIDs() {
+			product *= probs[id]
+		}
+		return math.Abs(product-sol.Probability) <= 1e-9*product
+	}
+	if err := quick.Check(property, coreQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaxSATMatchesBDDBaseline: both engines find the same optimal
+// probability.
+func TestQuickMaxSATMatchesBDDBaseline(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genTree) bool {
+		viaSAT, err := Analyze(ctx, g.T, Options{Sequential: true})
+		if err != nil {
+			return false
+		}
+		viaBDD, err := AnalyzeBDD(g.T, Options{})
+		if err != nil {
+			return false
+		}
+		return mpmcsEqualProb(viaSAT, viaBDD)
+	}
+	if err := quick.Check(property, coreQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMPMCSBoundsTopEventProbability: P(MPMCS) ≤ P(top) always
+// (the most likely single cut set cannot exceed the union's
+// probability), and both lie in (0, 1].
+func TestQuickMPMCSBoundsTopEventProbability(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genTree) bool {
+		sol, err := Analyze(ctx, g.T, Options{Sequential: true})
+		if err != nil {
+			return false
+		}
+		top, err := quant.TopEventProbability(g.T)
+		if err != nil {
+			return false
+		}
+		return sol.Probability > 0 && sol.Probability <= top+1e-12 && top <= 1+1e-12
+	}
+	if err := quick.Check(property, coreQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTopKIsSortedAndDistinct: ranked enumeration yields strictly
+// distinct minimal cut sets in non-increasing probability order.
+func TestQuickTopKIsSortedAndDistinct(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genTree) bool {
+		sols, err := AnalyzeTopK(ctx, g.T, 4, Options{Sequential: true})
+		if err != nil {
+			return false
+		}
+		seen := make(map[string]bool, len(sols))
+		prev := math.Inf(1)
+		for _, sol := range sols {
+			if sol.Probability > prev+1e-12 {
+				return false
+			}
+			prev = sol.Probability
+			key := ""
+			for _, id := range sol.CutSetIDs() {
+				key += id + "|"
+			}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(property, coreQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncodingChoiceIrrelevant: full Tseitin and
+// Plaisted-Greenbaum produce the same optimum.
+func TestQuickEncodingChoiceIrrelevant(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genTree) bool {
+		full, err := Analyze(ctx, g.T, Options{Sequential: true})
+		if err != nil {
+			return false
+		}
+		pg, err := Analyze(ctx, g.T, Options{Sequential: true, PlaistedGreenbaum: true})
+		if err != nil {
+			return false
+		}
+		return mpmcsEqualProb(full, pg)
+	}
+	if err := quick.Check(property, coreQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/maxsat"
+)
+
+// AnalyzeTopK returns up to k minimal cut sets in descending
+// probability order, starting with the MPMCS. Each round re-solves the
+// MaxSAT instance with a blocking clause requiring at least one event
+// of every previously reported cut set to survive, which excludes that
+// set and all its supersets — exactly the fault-prioritisation workflow
+// the paper motivates.
+func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*Solution, error) {
+	opts = opts.withDefaults()
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	steps, err := BuildSteps(tree, opts)
+	if err != nil {
+		return nil, err
+	}
+	instance := steps.Instance.Clone()
+
+	var out []*Solution
+	for round := 0; round < k; round++ {
+		start := time.Now()
+		res, report, err := solveInstance(ctx, instance, opts)
+		if err != nil {
+			return out, err
+		}
+		if res.Status == maxsat.Infeasible {
+			break // all cut sets enumerated
+		}
+		solution, err := buildSolution(tree, steps, res.Model, report.Winner)
+		if err != nil {
+			return out, err
+		}
+		solution.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		out = append(out, solution)
+
+		// Block this cut set and all supersets: at least one member
+		// event must not fail (yᵢ true).
+		block := make([]cnf.Lit, 0, len(solution.MPMCS))
+		for _, e := range solution.MPMCS {
+			block = append(block, cnf.Lit(steps.Encoding.VarOf[e.ID]))
+		}
+		if len(block) == 0 {
+			// The empty cut set (top event unconditionally true) has no
+			// supersets to block; enumeration is complete.
+			break
+		}
+		instance.AddHard(block...)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoCutSet
+	}
+	return out, nil
+}

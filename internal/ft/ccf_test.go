@@ -1,0 +1,124 @@
+package ft
+
+import (
+	"math"
+	"testing"
+)
+
+// buildRedundantPair returns a tree where two redundant pumps must both
+// fail: the canonical CCF showcase (an AND of near-identical parts).
+func buildRedundantPair(t *testing.T) *Tree {
+	t.Helper()
+	tree := New("pumps")
+	if err := tree.AddEvent("pump-a", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddEvent("pump-b", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("top", "pump-a", "pump-b"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	return tree
+}
+
+func TestApplyCCFStructure(t *testing.T) {
+	tree := buildRedundantPair(t)
+	group := CCFGroup{ID: "pumps", Members: []string{"pump-a", "pump-b"}, Beta: 0.1}
+	out, err := tree.ApplyCCF([]CCFGroup{group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original tree is untouched.
+	if tree.Event("pump-a") == nil || tree.HasNode("ccf-pumps") {
+		t.Error("ApplyCCF mutated the original tree")
+	}
+	// The transformed tree: pump-a is now an OR gate over the
+	// independent residual and the shared event.
+	g := out.Gate("pump-a")
+	if g == nil || g.Type != GateOr {
+		t.Fatalf("pump-a not rewired: %+v", g)
+	}
+	ccf := out.Event("ccf-pumps")
+	if ccf == nil {
+		t.Fatal("common-cause event missing")
+	}
+	if math.Abs(ccf.Prob-0.1*0.01) > 1e-15 {
+		t.Errorf("ccf probability = %v, want β·p̄ = 0.001", ccf.Prob)
+	}
+	indep := out.Event("pump-a-indep")
+	if indep == nil || math.Abs(indep.Prob-0.009) > 1e-15 {
+		t.Errorf("independent residual = %+v, want p(1−β) = 0.009", indep)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyCCFSingleEventTriggersViaCommonCause(t *testing.T) {
+	tree := buildRedundantPair(t)
+	out, err := tree.ApplyCCF([]CCFGroup{{ID: "p", Members: []string{"pump-a", "pump-b"}, Beta: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared event alone now fails the AND of both pumps.
+	got, err := out.Eval(map[string]bool{"ccf-p": true})
+	if err != nil || !got {
+		t.Errorf("common cause alone should fail both pumps: %v, %v", got, err)
+	}
+	// Independent residuals must still require both.
+	got, err = out.Eval(map[string]bool{"pump-a-indep": true})
+	if err != nil || got {
+		t.Errorf("one independent failure should not trip the top: %v, %v", got, err)
+	}
+	got, err = out.Eval(map[string]bool{"pump-a-indep": true, "pump-b-indep": true})
+	if err != nil || !got {
+		t.Errorf("both independent failures should trip the top: %v, %v", got, err)
+	}
+}
+
+func TestApplyCCFErrors(t *testing.T) {
+	tree := buildRedundantPair(t)
+	tests := []struct {
+		name  string
+		group CCFGroup
+	}{
+		{"no id", CCFGroup{Members: []string{"pump-a", "pump-b"}, Beta: 0.1}},
+		{"one member", CCFGroup{ID: "g", Members: []string{"pump-a"}, Beta: 0.1}},
+		{"beta zero", CCFGroup{ID: "g", Members: []string{"pump-a", "pump-b"}, Beta: 0}},
+		{"beta one", CCFGroup{ID: "g", Members: []string{"pump-a", "pump-b"}, Beta: 1}},
+		{"unknown member", CCFGroup{ID: "g", Members: []string{"pump-a", "ghost"}, Beta: 0.1}},
+		{"gate member", CCFGroup{ID: "g", Members: []string{"pump-a", "top"}, Beta: 0.1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tree.ApplyCCF([]CCFGroup{tt.group}); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+
+	// Overlapping groups are rejected.
+	groups := []CCFGroup{
+		{ID: "g1", Members: []string{"pump-a", "pump-b"}, Beta: 0.1},
+		{ID: "g2", Members: []string{"pump-b", "pump-a"}, Beta: 0.1},
+	}
+	if _, err := tree.ApplyCCF(groups); err == nil {
+		t.Error("overlapping groups accepted")
+	}
+}
+
+func TestCCFGroupsFromPrefix(t *testing.T) {
+	tree := buildRedundantPair(t)
+	group, err := tree.CCFGroupsFromPrefix("pump-", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(group.Members) != 2 || group.Members[0] != "pump-a" || group.Beta != 0.15 {
+		t.Errorf("group = %+v", group)
+	}
+	if _, err := tree.CCFGroupsFromPrefix("zzz", 0.1); err == nil {
+		t.Error("empty prefix match accepted")
+	}
+}

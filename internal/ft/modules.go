@@ -1,0 +1,187 @@
+package ft
+
+import "sort"
+
+// Modules returns the ids of gates that are modules: gates whose entire
+// subtree (gates and events alike) is reachable from the top only
+// through them. Modules are independent subsystems — the classical
+// prerequisite for divide-and-conquer fault-tree analysis (Dutuit &
+// Rauzy). The top gate is always a module. Nodes unreachable from the
+// top are ignored. The tree must be valid.
+func (t *Tree) Modules() ([]string, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Index reachable nodes.
+	index := make(map[string]int)
+	var orderIDs []string
+	var collect func(id string)
+	collect = func(id string) {
+		if _, seen := index[id]; seen {
+			return
+		}
+		index[id] = len(orderIDs)
+		orderIDs = append(orderIDs, id)
+		if g, ok := t.gates[id]; ok {
+			for _, in := range g.Inputs {
+				collect(in)
+			}
+		}
+	}
+	collect(t.top)
+
+	// Parent lists over reachable nodes.
+	parents := make([][]int, len(orderIDs))
+	for id, idx := range index {
+		g, ok := t.gates[id]
+		if !ok {
+			continue
+		}
+		for _, in := range g.Inputs {
+			childIdx := index[in]
+			parents[childIdx] = append(parents[childIdx], idx)
+		}
+	}
+
+	// desc[i] = bitset of reachable nodes in i's subtree (including i).
+	words := (len(orderIDs) + 63) / 64
+	desc := make([][]uint64, len(orderIDs))
+	var fill func(id string) []uint64
+	fill = func(id string) []uint64 {
+		idx := index[id]
+		if desc[idx] != nil {
+			return desc[idx]
+		}
+		set := make([]uint64, words)
+		set[idx/64] |= 1 << uint(idx%64)
+		desc[idx] = set // placed before recursion; DAG is acyclic so safe
+		if g, ok := t.gates[id]; ok {
+			for _, in := range g.Inputs {
+				child := fill(in)
+				for w := range set {
+					set[w] |= child[w]
+				}
+			}
+		}
+		return set
+	}
+	fill(t.top)
+
+	contains := func(set []uint64, idx int) bool {
+		return set[idx/64]&(1<<uint(idx%64)) != 0
+	}
+
+	var modules []string
+	for id := range t.gates {
+		idx, reachable := index[id]
+		if !reachable {
+			continue
+		}
+		isModule := true
+		set := desc[idx]
+		for childIdx := 0; childIdx < len(orderIDs) && isModule; childIdx++ {
+			if childIdx == idx || !contains(set, childIdx) {
+				continue
+			}
+			for _, parent := range parents[childIdx] {
+				if !contains(set, parent) {
+					isModule = false
+					break
+				}
+			}
+		}
+		if isModule {
+			modules = append(modules, id)
+		}
+	}
+	sort.Strings(modules)
+	return modules, nil
+}
+
+// Parents returns, for every reachable node, the ids of the gates that
+// list it as an input. The top node maps to an empty slice.
+func (t *Tree) Parents() (map[string][]string, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string)
+	var walk func(id string)
+	seen := make(map[string]bool)
+	walk = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if _, ok := out[id]; !ok {
+			out[id] = nil
+		}
+		g, ok := t.gates[id]
+		if !ok {
+			return
+		}
+		for _, in := range g.Inputs {
+			out[in] = append(out[in], id)
+			walk(in)
+		}
+	}
+	walk(t.top)
+	for id := range out {
+		sort.Strings(out[id])
+	}
+	return out, nil
+}
+
+// IsTreeShaped reports whether every reachable node except the top has
+// exactly one parent — i.e. the structure is a tree, not a shared DAG.
+// Several fast analyses (bottom-up probability) require this.
+func (t *Tree) IsTreeShaped() (bool, error) {
+	parents, err := t.Parents()
+	if err != nil {
+		return false, err
+	}
+	for id, ps := range parents {
+		if id == t.top {
+			continue
+		}
+		if len(ps) != 1 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// DFSEventOrder returns the basic events in depth-first traversal
+// order from the top event — the classical BDD variable-ordering
+// heuristic for fault trees (events of one subsystem stay adjacent).
+// Events unreachable from the top are appended in insertion order so
+// the result always covers every event.
+func (t *Tree) DFSEventOrder() []string {
+	seen := make(map[string]bool, t.NumEvents())
+	order := make([]string, 0, t.NumEvents())
+	var walk func(id string)
+	walk = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if g := t.gates[id]; g != nil {
+			for _, in := range g.Inputs {
+				walk(in)
+			}
+			return
+		}
+		if t.events[id] != nil {
+			order = append(order, id)
+		}
+	}
+	if t.top != "" {
+		walk(t.top)
+	}
+	for _, e := range t.Events() {
+		if !seen[e.ID] {
+			order = append(order, e.ID)
+		}
+	}
+	return order
+}

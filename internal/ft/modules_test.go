@@ -1,0 +1,142 @@
+package ft
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestModulesPureTree(t *testing.T) {
+	// In a strictly tree-shaped structure every gate is a module.
+	tree := buildFPS(t)
+	modules, err := tree.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"detection", "remote", "suppression", "top", "trigger"}
+	if !reflect.DeepEqual(modules, want) {
+		t.Errorf("Modules = %v, want %v", modules, want)
+	}
+}
+
+func TestModulesSharedEvent(t *testing.T) {
+	// Event s is shared between two gates: neither gate is a module,
+	// but the top still is.
+	tree := New("shared")
+	for _, id := range []string{"a", "b", "s"} {
+		if err := tree.AddEvent(id, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.AddAnd("left", "a", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("right", "b", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddOr("top", "left", "right"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	modules, err := tree.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(modules, []string{"top"}) {
+		t.Errorf("Modules = %v, want [top]", modules)
+	}
+}
+
+func TestModulesSharedGateInsideModule(t *testing.T) {
+	// A shared gate g under a single enclosing gate "mid": mid is a
+	// module (it contains both parents of g), the parents are not.
+	tree := New("nested")
+	for _, id := range []string{"a", "b", "c"} {
+		if err := tree.AddEvent(id, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.AddOr("g", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("p1", "g", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("p2", "g", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddOr("mid", "p1", "p2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddEvent("d", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddOr("top", "mid", "d"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	modules, err := tree.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p2 shares "a" with g's subtree but contains g... p1 shares c?
+	// g is shared by p1 and p2 → not a module unless both parents are
+	// inside its subtree (they are not). p1 contains g whose other
+	// parent p2 is outside → not a module. mid contains g, p1, p2, a,
+	// b, c entirely → module. top always.
+	want := []string{"mid", "top"}
+	if !reflect.DeepEqual(modules, want) {
+		t.Errorf("Modules = %v, want %v", modules, want)
+	}
+}
+
+func TestModulesInvalidTree(t *testing.T) {
+	if _, err := New("bad").Modules(); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}
+
+func TestParents(t *testing.T) {
+	tree := buildFPS(t)
+	parents, err := tree.Parents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parents["x1"]; !reflect.DeepEqual(got, []string{"detection"}) {
+		t.Errorf("parents(x1) = %v", got)
+	}
+	if got := parents["top"]; len(got) != 0 {
+		t.Errorf("parents(top) = %v, want empty", got)
+	}
+	if got := parents["trigger"]; !reflect.DeepEqual(got, []string{"suppression"}) {
+		t.Errorf("parents(trigger) = %v", got)
+	}
+}
+
+func TestIsTreeShaped(t *testing.T) {
+	tree := buildFPS(t)
+	shaped, err := tree.IsTreeShaped()
+	if err != nil || !shaped {
+		t.Errorf("FPS should be tree shaped: %v, %v", shaped, err)
+	}
+
+	dag := New("dag")
+	for _, id := range []string{"a", "b"} {
+		if err := dag.AddEvent(id, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dag.AddAnd("g1", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.AddAnd("g2", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.AddOr("top", "g1", "g2"); err != nil {
+		t.Fatal(err)
+	}
+	dag.SetTop("top")
+	shaped, err = dag.IsTreeShaped()
+	if err != nil || shaped {
+		t.Errorf("shared events should not be tree shaped: %v, %v", shaped, err)
+	}
+}

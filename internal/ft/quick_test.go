@@ -1,0 +1,224 @@
+package ft
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// genTree is a quick.Generator for small random valid trees built
+// directly with the ft API (independent of internal/gen, which this
+// package cannot import).
+type genTree struct {
+	T *Tree
+}
+
+// Generate implements quick.Generator.
+func (genTree) Generate(r *rand.Rand, _ int) reflect.Value {
+	tree := New("q" + strconv.Itoa(r.Intn(1000)))
+	numEvents := 3 + r.Intn(8)
+	ids := make([]string, 0, numEvents)
+	for i := 0; i < numEvents; i++ {
+		id := "e" + strconv.Itoa(i)
+		if err := tree.AddEvent(id, r.Float64()); err != nil {
+			panic(err)
+		}
+		ids = append(ids, id)
+	}
+	available := append([]string(nil), ids...)
+	gateSeq := 0
+	for len(available) > 1 {
+		fanIn := 2 + r.Intn(3)
+		if fanIn > len(available) {
+			fanIn = len(available)
+		}
+		inputs := make([]string, 0, fanIn)
+		for i := 0; i < fanIn; i++ {
+			pick := r.Intn(len(available))
+			inputs = append(inputs, available[pick])
+			available[pick] = available[len(available)-1]
+			available = available[:len(available)-1]
+		}
+		gateSeq++
+		id := "g" + strconv.Itoa(gateSeq)
+		var err error
+		switch r.Intn(3) {
+		case 0:
+			err = tree.AddAnd(id, inputs...)
+		case 1:
+			err = tree.AddOr(id, inputs...)
+		default:
+			err = tree.AddVoting(id, 1+r.Intn(len(inputs)), inputs...)
+		}
+		if err != nil {
+			panic(err)
+		}
+		available = append(available, id)
+	}
+	tree.SetTop(available[0])
+	return reflect.ValueOf(genTree{T: tree})
+}
+
+func ftQuickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(139))}
+}
+
+// TestQuickJSONRoundTripPreservesEval: serialising and reloading never
+// changes the structure function.
+func TestQuickJSONRoundTripPreservesEval(t *testing.T) {
+	property := func(g genTree, pattern uint16) bool {
+		var buf bytes.Buffer
+		if err := g.T.WriteJSON(&buf); err != nil {
+			return false
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		failed := patternAssignment(g.T, uint64(pattern))
+		want, err1 := g.T.Eval(failed)
+		got, err2 := back.Eval(failed)
+		return err1 == nil && err2 == nil && got == want
+	}
+	if err := quick.Check(property, ftQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTextRoundTripPreservesEval: same property for the text
+// format.
+func TestQuickTextRoundTripPreservesEval(t *testing.T) {
+	property := func(g genTree, pattern uint16) bool {
+		var buf bytes.Buffer
+		if err := g.T.WriteText(&buf); err != nil {
+			return false
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		failed := patternAssignment(g.T, uint64(pattern))
+		want, err1 := g.T.Eval(failed)
+		got, err2 := back.Eval(failed)
+		return err1 == nil && err2 == nil && got == want
+	}
+	if err := quick.Check(property, ftQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneEquivalent: a clone evaluates identically and is fully
+// detached from the original.
+func TestQuickCloneEquivalent(t *testing.T) {
+	property := func(g genTree, pattern uint16) bool {
+		clone := g.T.Clone()
+		failed := patternAssignment(g.T, uint64(pattern))
+		want, err1 := g.T.Eval(failed)
+		got, err2 := clone.Eval(failed)
+		if err1 != nil || err2 != nil || got != want {
+			return false
+		}
+		// Mutate the clone's probabilities; the original's stay.
+		events := g.T.Events()
+		orig := events[0].Prob
+		if err := clone.SetProb(events[0].ID, 1-orig); err != nil {
+			return false
+		}
+		return g.T.Event(events[0].ID).Prob == orig
+	}
+	if err := quick.Check(property, ftQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickModulesDefinition: every reported module's proper
+// descendants have all their parents inside the module's subtree.
+func TestQuickModulesDefinition(t *testing.T) {
+	property := func(g genTree) bool {
+		modules, err := g.T.Modules()
+		if err != nil {
+			return false
+		}
+		parents, err := g.T.Parents()
+		if err != nil {
+			return false
+		}
+		for _, moduleID := range modules {
+			inside := descendantSet(g.T, moduleID)
+			for id := range inside {
+				if id == moduleID {
+					continue
+				}
+				for _, parent := range parents[id] {
+					if !inside[parent] {
+						return false
+					}
+				}
+			}
+		}
+		// The top gate must always be reported.
+		found := false
+		for _, id := range modules {
+			if id == g.T.Top() {
+				found = true
+			}
+		}
+		return found
+	}
+	if err := quick.Check(property, ftQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDFSOrderCoversAllEvents: the heuristic order is a
+// permutation of the event set.
+func TestQuickDFSOrderCoversAllEvents(t *testing.T) {
+	property := func(g genTree) bool {
+		order := g.T.DFSEventOrder()
+		if len(order) != g.T.NumEvents() {
+			return false
+		}
+		seen := make(map[string]bool, len(order))
+		for _, id := range order {
+			if seen[id] || g.T.Event(id) == nil {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(property, ftQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// descendantSet returns all ids in the subtree rooted at id.
+func descendantSet(t *Tree, id string) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(string)
+	walk = func(n string) {
+		if out[n] {
+			return
+		}
+		out[n] = true
+		if g := t.Gate(n); g != nil {
+			for _, in := range g.Inputs {
+				walk(in)
+			}
+		}
+	}
+	walk(id)
+	return out
+}
+
+// patternAssignment derives a failure assignment from a bit pattern.
+func patternAssignment(t *Tree, pattern uint64) map[string]bool {
+	failed := make(map[string]bool)
+	for i, e := range t.Events() {
+		failed[e.ID] = pattern&(1<<uint(i%64)) != 0
+	}
+	return failed
+}

@@ -1,0 +1,147 @@
+package ft
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The compact text format, one declaration per line:
+//
+//	# comment
+//	tree <name>
+//	top <id>
+//	event <id> <probability> [description...]
+//	gate <id> and|or <input> <input> ...
+//	gate <id> <k>of<n> <input> <input> ...
+//
+// Blank lines and lines starting with '#' are ignored. The format exists
+// so that workloads can be written by hand and diffed easily; JSON is the
+// tool-interchange format.
+
+// ReadText parses the compact text format and validates the tree.
+func ReadText(r io.Reader) (*Tree, error) {
+	tree := New("")
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseTextLine(tree, line); err != nil {
+			return nil, fmt.Errorf("ft: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("ft: read text: %w", err)
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+func parseTextLine(tree *Tree, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "tree":
+		if len(fields) < 2 {
+			return fmt.Errorf("tree declaration needs a name")
+		}
+		tree.SetName(strings.Join(fields[1:], " "))
+	case "top":
+		if len(fields) != 2 {
+			return fmt.Errorf("top declaration needs exactly one id")
+		}
+		tree.SetTop(fields[1])
+	case "event":
+		if len(fields) < 3 {
+			return fmt.Errorf("event declaration needs id and probability")
+		}
+		prob, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("event %q: bad probability %q", fields[1], fields[2])
+		}
+		desc := strings.Join(fields[3:], " ")
+		return tree.AddEventDesc(fields[1], desc, prob)
+	case "gate":
+		if len(fields) < 4 {
+			return fmt.Errorf("gate declaration needs id, type and inputs")
+		}
+		id, typeStr, inputs := fields[1], fields[2], fields[3:]
+		switch typeStr {
+		case "and":
+			return tree.AddAnd(id, inputs...)
+		case "or":
+			return tree.AddOr(id, inputs...)
+		default:
+			k, ok := parseKofN(typeStr, len(inputs))
+			if !ok {
+				return fmt.Errorf("gate %q: unknown type %q", id, typeStr)
+			}
+			return tree.AddVoting(id, k, inputs...)
+		}
+	default:
+		return fmt.Errorf("unknown declaration %q", fields[0])
+	}
+	return nil
+}
+
+// parseKofN accepts "2of3" style voting specifiers and checks the
+// declared n against the actual input count.
+func parseKofN(s string, numInputs int) (int, bool) {
+	parts := strings.SplitN(s, "of", 2)
+	if len(parts) != 2 {
+		return 0, false
+	}
+	k, err1 := strconv.Atoi(parts[0])
+	n, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || n != numInputs {
+		return 0, false
+	}
+	return k, true
+}
+
+// WriteText writes the tree in the compact text format with
+// deterministic node order.
+func (t *Tree) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.name != "" {
+		fmt.Fprintf(bw, "tree %s\n", t.name)
+	}
+	if t.top != "" {
+		fmt.Fprintf(bw, "top %s\n", t.top)
+	}
+	events := t.Events()
+	sort.Slice(events, func(i, j int) bool { return events[i].ID < events[j].ID })
+	for _, e := range events {
+		if e.Description != "" {
+			fmt.Fprintf(bw, "event %s %s %s\n", e.ID, formatProb(e.Prob), e.Description)
+		} else {
+			fmt.Fprintf(bw, "event %s %s\n", e.ID, formatProb(e.Prob))
+		}
+	}
+	gates := t.Gates()
+	sort.Slice(gates, func(i, j int) bool { return gates[i].ID < gates[j].ID })
+	for _, g := range gates {
+		typeStr := gateTypeName(g.Type)
+		if g.Type == GateVoting {
+			typeStr = fmt.Sprintf("%dof%d", g.K, len(g.Inputs))
+		}
+		fmt.Fprintf(bw, "gate %s %s %s\n", g.ID, typeStr, strings.Join(g.Inputs, " "))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ft: write text: %w", err)
+	}
+	return nil
+}
+
+func formatProb(p float64) string {
+	return strconv.FormatFloat(p, 'g', -1, 64)
+}

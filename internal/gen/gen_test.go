@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"testing"
+
+	"mpmcs4fta/internal/ft"
+)
+
+func TestFPSStructure(t *testing.T) {
+	tree := FPS()
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumEvents() != 7 || tree.NumGates() != 5 {
+		t.Errorf("FPS has %d events, %d gates", tree.NumEvents(), tree.NumGates())
+	}
+	if tree.Event("x1").Prob != 0.2 || tree.Event("x7").Prob != 0.05 {
+		t.Error("FPS probabilities do not match Table I")
+	}
+	// The defining behaviour from the paper: both sensors failing
+	// triggers the top event.
+	got, err := tree.Eval(map[string]bool{"x1": true, "x2": true})
+	if err != nil || !got {
+		t.Errorf("Eval({x1,x2}) = %v, %v", got, err)
+	}
+}
+
+func TestPressureTankStructure(t *testing.T) {
+	tree := PressureTank()
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// k2 alone overruns the pump.
+	got, err := tree.Eval(map[string]bool{"k2": true})
+	if err != nil || !got {
+		t.Errorf("Eval({k2}) = %v, %v", got, err)
+	}
+	// s1 alone is insufficient.
+	got, err = tree.Eval(map[string]bool{"s1": true})
+	if err != nil || got {
+		t.Errorf("Eval({s1}) = %v, %v", got, err)
+	}
+	// s1 + one from each emergency path.
+	got, err = tree.Eval(map[string]bool{"s1": true, "op": true, "tm": true})
+	if err != nil || !got {
+		t.Errorf("Eval({s1,op,tm}) = %v, %v", got, err)
+	}
+}
+
+func TestRedundantSCADAVoting(t *testing.T) {
+	tree := RedundantSCADA()
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.Eval(map[string]bool{"c1": true, "c3": true})
+	if err != nil || !got {
+		t.Errorf("two of three channels should trip: %v, %v", got, err)
+	}
+	got, err = tree.Eval(map[string]bool{"c2": true})
+	if err != nil || got {
+		t.Errorf("one channel should not trip: %v, %v", got, err)
+	}
+	got, err = tree.Eval(map[string]bool{"n1": true})
+	if err != nil || got {
+		t.Errorf("primary switch alone should not trip: %v, %v", got, err)
+	}
+	got, err = tree.Eval(map[string]bool{"n1": true, "n2": true})
+	if err != nil || !got {
+		t.Errorf("both switches should trip: %v, %v", got, err)
+	}
+}
+
+func TestReactorProtectionStructure(t *testing.T) {
+	tree := ReactorProtection()
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Overpressure needs BOTH the shutdown chain and the relief path
+	// down: relief alone is insufficient.
+	got, err := tree.Eval(map[string]bool{"rv": true, "rd": true})
+	if err != nil || got {
+		t.Errorf("relief failure alone should not overpressure: %v, %v", got, err)
+	}
+	got, err = tree.Eval(map[string]bool{"rv": true, "rd": true, "ls": true})
+	if err != nil || !got {
+		t.Errorf("relief + logic solver should overpressure: %v, %v", got, err)
+	}
+	// 2-of-3 transmitters plus relief.
+	got, err = tree.Eval(map[string]bool{"pt1": true, "pt3": true, "rv": true, "rd": true})
+	if err != nil || !got {
+		t.Errorf("sensor majority + relief should overpressure: %v, %v", got, err)
+	}
+	got, err = tree.Eval(map[string]bool{"pt1": true, "rv": true, "rd": true})
+	if err != nil || got {
+		t.Errorf("single transmitter should not defeat the vote: %v, %v", got, err)
+	}
+}
+
+func TestRailwayCrossingStructure(t *testing.T) {
+	tree := RailwayCrossing()
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Any protection failure still needs the driver error.
+	got, err := tree.Eval(map[string]bool{"ctl": true})
+	if err != nil || got {
+		t.Errorf("controller fault alone should not collide: %v, %v", got, err)
+	}
+	got, err = tree.Eval(map[string]bool{"ctl": true, "dv": true})
+	if err != nil || !got {
+		t.Errorf("controller fault + driver error should collide: %v, %v", got, err)
+	}
+	// Warning path needs both channels silent.
+	got, err = tree.Eval(map[string]bool{"wl": true, "dv": true})
+	if err != nil || got {
+		t.Errorf("lights alone should not count as silent warnings: %v, %v", got, err)
+	}
+	got, err = tree.Eval(map[string]bool{"wl": true, "wb": true, "dv": true})
+	if err != nil || !got {
+		t.Errorf("both warnings + driver should collide: %v, %v", got, err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := Config{Events: 30, Seed: 7}
+	a, err := Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEvents() != b.NumEvents() || a.NumGates() != b.NumGates() {
+		t.Error("same seed produced different shapes")
+	}
+	for _, e := range a.Events() {
+		if other := b.Event(e.ID); other == nil || other.Prob != e.Prob {
+			t.Fatalf("event %s differs between runs", e.ID)
+		}
+	}
+}
+
+func TestRandomValidAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		tree, err := Random(Config{Events: 25, Seed: seed, VotingFrac: 0.3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if tree.NumEvents() != 25 {
+			t.Fatalf("seed %d: %d events", seed, tree.NumEvents())
+		}
+		for _, e := range tree.Events() {
+			if e.Prob <= 0 || e.Prob > 0.2000001 {
+				t.Fatalf("seed %d: event %s probability %v out of range", seed, e.ID, e.Prob)
+			}
+		}
+	}
+}
+
+func TestRandomScalesToThousands(t *testing.T) {
+	tree, err := Random(Config{Events: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := tree.Stats()
+	if stats.Events+stats.Gates < 3000 {
+		t.Errorf("tree too small: %+v", stats)
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	if _, err := Random(Config{Events: 1}); err == nil {
+		t.Error("single-event config accepted")
+	}
+	if _, err := Random(Config{Events: 5, MinProb: 0.5, MaxProb: 0.1}); err == nil {
+		t.Error("inverted probability range accepted")
+	}
+	if _, err := Random(Config{Events: 5, MinProb: -1, MaxProb: 0.5}); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestRandomVotingGatesAppear(t *testing.T) {
+	tree, err := Random(Config{Events: 200, Seed: 3, VotingFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var voting int
+	for _, g := range tree.Gates() {
+		if g.Type == ft.GateVoting {
+			voting++
+		}
+	}
+	if voting == 0 {
+		t.Error("VotingFrac 0.5 produced no voting gates")
+	}
+}

@@ -1,0 +1,129 @@
+package gen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpmcs4fta/internal/ft"
+)
+
+// genConfig is a quick.Generator for valid generator configurations.
+type genConfig struct {
+	Cfg Config
+}
+
+// Generate implements quick.Generator.
+func (genConfig) Generate(r *rand.Rand, _ int) reflect.Value {
+	cfg := Config{
+		Events:     2 + r.Intn(60),
+		MaxFanIn:   2 + r.Intn(5),
+		AndBias:    0.1 + 0.8*r.Float64(),
+		VotingFrac: r.Float64() * 0.5,
+		MinProb:    1e-5,
+		MaxProb:    0.5,
+		NoSharing:  r.Intn(2) == 0,
+		Seed:       r.Int63(),
+	}
+	return reflect.ValueOf(genConfig{Cfg: cfg})
+}
+
+func genQuickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(173))}
+}
+
+// TestQuickGeneratedTreesAreValid: every configuration yields a valid
+// tree with the requested event count and probabilities in range.
+func TestQuickGeneratedTreesAreValid(t *testing.T) {
+	property := func(g genConfig) bool {
+		tree, err := Random(g.Cfg)
+		if err != nil {
+			return false
+		}
+		if tree.Validate() != nil {
+			return false
+		}
+		if tree.NumEvents() != g.Cfg.Events {
+			return false
+		}
+		for _, e := range tree.Events() {
+			if e.Prob < g.Cfg.MinProb/1.000001 || e.Prob > g.Cfg.MaxProb*1.000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, genQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoSharingYieldsTreeShape: the NoSharing flag guarantees a
+// strictly tree-shaped structure.
+func TestQuickNoSharingYieldsTreeShape(t *testing.T) {
+	property := func(g genConfig) bool {
+		g.Cfg.NoSharing = true
+		tree, err := Random(g.Cfg)
+		if err != nil {
+			return false
+		}
+		shaped, err := tree.IsTreeShaped()
+		return err == nil && shaped
+	}
+	if err := quick.Check(property, genQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAllEventsReachable: every generated event participates in
+// the structure function (is reachable from the top).
+func TestQuickAllEventsReachable(t *testing.T) {
+	property := func(g genConfig) bool {
+		tree, err := Random(g.Cfg)
+		if err != nil {
+			return false
+		}
+		order := tree.DFSEventOrder()
+		// DFSEventOrder appends unreachable events last; reachability
+		// means walking from the top already covered all of them, which
+		// we verify by checking that failing all events trips the top
+		// (monotone trees) and that the order is a full permutation.
+		if len(order) != tree.NumEvents() {
+			return false
+		}
+		failed := make(map[string]bool, len(order))
+		for _, id := range order {
+			failed[id] = true
+		}
+		topFails, err := tree.Eval(failed)
+		return err == nil && topFails
+	}
+	if err := quick.Check(property, genQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVotingGateThresholdsValid: voting gates always carry a
+// threshold within 1..fan-in.
+func TestQuickVotingGateThresholdsValid(t *testing.T) {
+	property := func(g genConfig) bool {
+		g.Cfg.VotingFrac = 0.6
+		tree, err := Random(g.Cfg)
+		if err != nil {
+			return false
+		}
+		for _, gate := range tree.Gates() {
+			if gate.Type != ft.GateVoting {
+				continue
+			}
+			if gate.K < 1 || gate.K > len(gate.Inputs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, genQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+package maxsat
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/sat"
+)
+
+// BranchBound is a dedicated branch-and-bound Weighted Partial MaxSAT
+// engine: depth-first search over the instance variables with unit
+// propagation on the hard clauses and pruning by the weight of soft
+// clauses already fully falsified. It needs no SAT oracle at all, which
+// makes it a usefully different portfolio member — strong on small and
+// highly-constrained instances, weak on large under-constrained ones.
+type BranchBound struct{}
+
+var _ Solver = (*BranchBound)(nil)
+
+// Name implements Solver.
+func (b *BranchBound) Name() string { return "branch-bound" }
+
+type bbState struct {
+	inst     *cnf.WCNF
+	assign   []int8 // 0 unassigned, 1 true, -1 false; by variable
+	order    []int  // variable branching order
+	best     []bool
+	bestCost int64
+	steps    int64
+}
+
+// Solve implements Solver.
+func (b *BranchBound) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
+	if err := inst.Validate(); err != nil {
+		return Result{}, fmt.Errorf("maxsat: %w", err)
+	}
+	st := &bbState{
+		inst:     inst,
+		assign:   make([]int8, inst.NumVars+1),
+		bestCost: -1,
+	}
+
+	// Branch on heavier variables first: variables appearing in heavy
+	// soft clauses decide more cost, so deciding them early tightens the
+	// bound sooner.
+	weightOf := make([]int64, inst.NumVars+1)
+	for _, soft := range inst.Soft {
+		for _, l := range soft.Clause {
+			if soft.Weight > weightOf[l.Var()] {
+				weightOf[l.Var()] = soft.Weight
+			}
+		}
+	}
+	st.order = make([]int, inst.NumVars)
+	for v := 1; v <= inst.NumVars; v++ {
+		st.order[v-1] = v
+	}
+	sort.SliceStable(st.order, func(i, j int) bool {
+		return weightOf[st.order[i]] > weightOf[st.order[j]]
+	})
+
+	if err := st.search(ctx, 0); err != nil {
+		return Result{}, err
+	}
+	if st.bestCost < 0 {
+		return Result{Status: Infeasible}, nil
+	}
+	return verifyResult(inst, Result{Status: Optimal, Model: st.best, Cost: st.bestCost})
+}
+
+// search explores assignments to order[depth:]; assign holds the current
+// partial assignment.
+func (st *bbState) search(ctx context.Context, depth int) error {
+	st.steps++
+	if st.steps&511 == 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
+		}
+	}
+
+	// Unit propagation on hard clauses; trail records for undo.
+	var trail []int
+	undo := func() {
+		for _, v := range trail {
+			st.assign[v] = 0
+		}
+	}
+	for {
+		unitVar, unitVal, conflict := st.findHardUnit()
+		if conflict {
+			undo()
+			return nil
+		}
+		if unitVar == 0 {
+			break
+		}
+		st.assign[unitVar] = unitVal
+		trail = append(trail, unitVar)
+	}
+
+	// Prune when already no better than the incumbent.
+	lb := st.falsifiedWeight()
+	if st.bestCost >= 0 && lb >= st.bestCost {
+		undo()
+		return nil
+	}
+
+	// Next unassigned variable in branching order.
+	branch := 0
+	for _, v := range st.order {
+		if st.assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		// Complete assignment; hard clauses hold by propagation above.
+		cost := st.falsifiedWeight()
+		if st.bestCost < 0 || cost < st.bestCost {
+			st.bestCost = cost
+			st.best = make([]bool, st.inst.NumVars+1)
+			for v := 1; v <= st.inst.NumVars; v++ {
+				st.best[v] = st.assign[v] == 1
+			}
+		}
+		undo()
+		return nil
+	}
+
+	for _, val := range [2]int8{1, -1} {
+		st.assign[branch] = val
+		if err := st.search(ctx, depth+1); err != nil {
+			st.assign[branch] = 0
+			undo()
+			return err
+		}
+	}
+	st.assign[branch] = 0
+	undo()
+	return nil
+}
+
+// findHardUnit scans hard clauses for a unit or a conflict.
+func (st *bbState) findHardUnit() (unitVar int, unitVal int8, conflict bool) {
+	for _, clause := range st.inst.Hard {
+		satisfied := false
+		unassigned := 0
+		var candidate cnf.Lit
+		for _, l := range clause {
+			switch st.assign[l.Var()] {
+			case 0:
+				unassigned++
+				candidate = l
+			case 1:
+				if l.Pos() {
+					satisfied = true
+				}
+			case -1:
+				if !l.Pos() {
+					satisfied = true
+				}
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		switch unassigned {
+		case 0:
+			return 0, 0, true
+		case 1:
+			val := int8(-1)
+			if candidate.Pos() {
+				val = 1
+			}
+			return candidate.Var(), val, false
+		}
+	}
+	return 0, 0, false
+}
+
+// falsifiedWeight sums the weights of soft clauses every literal of
+// which is assigned false — an admissible lower bound on any extension.
+func (st *bbState) falsifiedWeight() int64 {
+	var total int64
+	for _, soft := range st.inst.Soft {
+		falsified := true
+		for _, l := range soft.Clause {
+			v := st.assign[l.Var()]
+			if v == 0 || (v == 1) == l.Pos() {
+				falsified = false
+				break
+			}
+		}
+		if falsified {
+			total += soft.Weight
+		}
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package maxsat
+
+import (
+	"context"
+	"fmt"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/sat"
+)
+
+// LinearSU is the model-improving ("linear SAT-UNSAT") engine: solve,
+// measure the model's cost, constrain the search to cost-1, repeat until
+// UNSAT; the last model is optimal. The cost constraint is the CDCL
+// solver's native pseudo-Boolean budget, so no cardinality network is
+// encoded regardless of weight magnitudes.
+type LinearSU struct {
+	// SatOptions configures the underlying CDCL solver (useful for
+	// portfolio diversity).
+	SatOptions sat.Options
+}
+
+var _ Solver = (*LinearSU)(nil)
+
+// Name implements Solver.
+func (l *LinearSU) Name() string { return "linear-su" }
+
+// Solve implements Solver.
+func (l *LinearSU) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
+	if err := inst.Validate(); err != nil {
+		return Result{}, fmt.Errorf("maxsat: %w", err)
+	}
+	s := sat.New(inst.NumVars, l.SatOptions)
+	for _, c := range inst.Hard {
+		if !s.AddClause(c...) {
+			return Result{Status: Infeasible}, nil
+		}
+	}
+
+	// Attach one budget literal per soft clause: the negation of a unit
+	// soft's literal directly, or a fresh relaxation variable appended
+	// to longer clauses. A true budget literal *permits* falsifying the
+	// soft clause; the model's true cost is measured against the
+	// original instance each iteration.
+	weightOf := make(map[cnf.Lit]int64, len(inst.Soft))
+	var (
+		order []cnf.Lit // budget literals in first-use order
+		total int64
+	)
+	for _, soft := range inst.Soft {
+		total += soft.Weight
+		var budgetLit cnf.Lit
+		if len(soft.Clause) == 1 {
+			// Duplicate unit softs merge into one budget literal with
+			// summed weight.
+			budgetLit = soft.Clause[0].Neg()
+		} else {
+			r := cnf.Lit(s.AddVars(1))
+			relaxed := append(append(cnf.Clause{}, soft.Clause...), r)
+			if !s.AddClause(relaxed...) {
+				return Result{Status: Infeasible}, nil
+			}
+			budgetLit = r
+		}
+		if _, seen := weightOf[budgetLit]; !seen {
+			order = append(order, budgetLit)
+		}
+		weightOf[budgetLit] += soft.Weight
+	}
+	budgetLits := make([]cnf.Lit, len(order))
+	weights := make([]int64, len(order))
+	for i, l := range order {
+		budgetLits[i] = l
+		weights[i] = weightOf[l]
+	}
+	if err := s.SetBudget(budgetLits, weights, total); err != nil {
+		return Result{}, fmt.Errorf("maxsat: install budget: %w", err)
+	}
+
+	var (
+		best     []bool
+		bestCost int64 = -1
+	)
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
+		}
+		status, err := s.Solve(ctx)
+		if err != nil {
+			return Result{}, err
+		}
+		if status != sat.Sat {
+			break
+		}
+		model := truncateModel(s.Model(), inst.NumVars)
+		cost, err := inst.Cost(model)
+		if err != nil {
+			return Result{}, fmt.Errorf("maxsat: inconsistent model: %w", err)
+		}
+		best, bestCost = model, cost
+		if cost == 0 {
+			break
+		}
+		if err := s.SetBudgetBound(cost - 1); err != nil {
+			return Result{}, fmt.Errorf("maxsat: tighten bound: %w", err)
+		}
+	}
+	if bestCost < 0 {
+		return Result{Status: Infeasible}, nil
+	}
+	return verifyResult(inst, Result{Status: Optimal, Model: best, Cost: bestCost})
+}

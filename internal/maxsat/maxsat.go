@@ -1,0 +1,97 @@
+// Package maxsat provides Weighted Partial MaxSAT solvers over
+// cnf.WCNF instances — the oracle required by Step 4 of the paper's
+// pipeline. Three engines with genuinely different algorithms are
+// implemented, which is what makes the Step-5 parallel portfolio
+// worthwhile:
+//
+//   - LinearSU: model-improving linear search SAT→UNSAT, using the CDCL
+//     solver's native pseudo-Boolean budget propagator for the bound.
+//   - WMSU1: core-guided Fu&Malik with weight splitting (WPM1).
+//   - BranchBound: dedicated branch-and-bound over the instance
+//     variables with unit propagation and falsified-weight bounding.
+//
+// All engines are deterministic for a fixed instance and configuration.
+package maxsat
+
+import (
+	"context"
+	"fmt"
+
+	"mpmcs4fta/internal/cnf"
+)
+
+// Status is the outcome of a MaxSAT solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means the search was interrupted before completion.
+	Unknown Status = iota
+	// Optimal means Model is a minimum-cost assignment.
+	Optimal
+	// Infeasible means the hard clauses are unsatisfiable.
+	Infeasible
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "OPTIMAL"
+	case Infeasible:
+		return "INFEASIBLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Result is the outcome of a MaxSAT solve call.
+type Result struct {
+	Status Status
+	// Model is a minimum-cost assignment indexed by DIMACS variable
+	// (index 0 unused); valid only when Status is Optimal.
+	Model []bool
+	// Cost is the total weight of falsified soft clauses under Model.
+	Cost int64
+}
+
+// Solver is a Weighted Partial MaxSAT engine. Implementations must not
+// mutate the instance and must be safe to run concurrently with other
+// Solver instances (each Solve call builds its own state).
+type Solver interface {
+	// Name identifies the engine (for portfolio reports).
+	Name() string
+	// Solve computes a minimum-cost model of the instance. The context
+	// cancels long runs, in which case an error wrapping
+	// sat.ErrInterrupted is returned.
+	Solve(ctx context.Context, inst *cnf.WCNF) (Result, error)
+}
+
+// verifyResult recomputes the model cost against the original instance;
+// engines call it before returning so that a disagreement between the
+// engine's bookkeeping and the actual instance surfaces as an error
+// instead of a wrong answer.
+func verifyResult(inst *cnf.WCNF, res Result) (Result, error) {
+	if res.Status != Optimal {
+		return res, nil
+	}
+	cost, err := inst.Cost(res.Model)
+	if err != nil {
+		return Result{}, fmt.Errorf("maxsat: model verification failed: %w", err)
+	}
+	if cost != res.Cost {
+		return Result{}, fmt.Errorf("maxsat: engine reported cost %d but model costs %d", res.Cost, cost)
+	}
+	return res, nil
+}
+
+// truncateModel trims helper variables so the model covers exactly the
+// instance's variables.
+func truncateModel(model []bool, numVars int) []bool {
+	if len(model) > numVars+1 {
+		return model[:numVars+1]
+	}
+	out := make([]bool, numVars+1)
+	copy(out, model)
+	return out
+}

@@ -1,0 +1,147 @@
+package maxsat
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpmcs4fta/internal/cnf"
+)
+
+// genInstance is a quick.Generator for small random WPMS instances.
+type genInstance struct {
+	W *cnf.WCNF
+}
+
+// Generate implements quick.Generator.
+func (genInstance) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genInstance{W: randomWCNF(r, 3+r.Intn(6))})
+}
+
+func maxsatQuickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(149))}
+}
+
+// TestQuickEnginesAgree: all engines report the same optimal cost (or
+// all report infeasible) on every instance.
+func TestQuickEnginesAgree(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genInstance) bool {
+		var (
+			first    Result
+			firstSet bool
+		)
+		for _, engine := range engines() {
+			res, err := engine.Solve(ctx, g.W)
+			if err != nil {
+				return false
+			}
+			if !firstSet {
+				first, firstSet = res, true
+				continue
+			}
+			if res.Status != first.Status {
+				return false
+			}
+			if res.Status == Optimal && res.Cost != first.Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, maxsatQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOptimumIsFeasibleAndUnbeatable: the reported model satisfies
+// the hard clauses with the reported cost, and brute force confirms no
+// cheaper model exists.
+func TestQuickOptimumIsFeasibleAndUnbeatable(t *testing.T) {
+	ctx := context.Background()
+	engine := &WMSU1{}
+	property := func(g genInstance) bool {
+		res, err := engine.Solve(ctx, g.W)
+		if err != nil {
+			return false
+		}
+		want := bruteForceOptimum(g.W)
+		if want < 0 {
+			return res.Status == Infeasible
+		}
+		if res.Status != Optimal || res.Cost != want {
+			return false
+		}
+		cost, err := g.W.Cost(res.Model)
+		return err == nil && cost == res.Cost
+	}
+	if err := quick.Check(property, maxsatQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddingSoftNeverLowersCost: adding a soft clause can only
+// keep or raise the optimum (monotonicity of the objective).
+func TestQuickAddingSoftNeverLowersCost(t *testing.T) {
+	ctx := context.Background()
+	engine := &BranchBound{}
+	property := func(g genInstance, litRaw int8, weight uint8) bool {
+		base, err := engine.Solve(ctx, g.W)
+		if err != nil {
+			return false
+		}
+		if base.Status != Optimal {
+			return true
+		}
+		v := int(litRaw)
+		if v < 0 {
+			v = -v
+		}
+		v = v%g.W.NumVars + 1
+		l := cnf.Lit(v)
+		if litRaw < 0 {
+			l = -l
+		}
+		extended := g.W.Clone()
+		extended.AddSoft(int64(weight)+1, l)
+		after, err := engine.Solve(ctx, extended)
+		if err != nil {
+			return false
+		}
+		return after.Status == Optimal && after.Cost >= base.Cost
+	}
+	if err := quick.Check(property, maxsatQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScalingWeightsScalesCost: multiplying every weight by a
+// constant multiplies the optimum by the same constant.
+func TestQuickScalingWeightsScalesCost(t *testing.T) {
+	ctx := context.Background()
+	engine := &LinearSU{}
+	property := func(g genInstance, factorRaw uint8) bool {
+		factor := int64(factorRaw%7) + 2
+		base, err := engine.Solve(ctx, g.W)
+		if err != nil {
+			return false
+		}
+		if base.Status != Optimal {
+			return true
+		}
+		scaled := g.W.Clone()
+		for i := range scaled.Soft {
+			scaled.Soft[i].Weight *= factor
+		}
+		after, err := engine.Solve(ctx, scaled)
+		if err != nil {
+			return false
+		}
+		return after.Status == Optimal && after.Cost == base.Cost*factor
+	}
+	if err := quick.Check(property, maxsatQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}

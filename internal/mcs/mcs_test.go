@@ -1,0 +1,211 @@
+package mcs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+)
+
+func TestMOCUSFPS(t *testing.T) {
+	sets, err := MOCUS(gen.FPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CutSet{
+		{"x1", "x2"},
+		{"x3"},
+		{"x4"},
+		{"x5", "x6"},
+		{"x5", "x7"},
+	}
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("MOCUS = %v, want %v", sets, want)
+	}
+}
+
+func TestExhaustiveMatchesMOCUS(t *testing.T) {
+	trees := []*ft.Tree{gen.FPS(), gen.PressureTank(), gen.RedundantSCADA()}
+	for _, tree := range trees {
+		mocus, err := MOCUS(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		oracle, err := Exhaustive(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		if !reflect.DeepEqual(mocus, oracle) {
+			t.Errorf("%s: MOCUS %v != oracle %v", tree.Name(), mocus, oracle)
+		}
+	}
+}
+
+func TestMOCUSMatchesOracleOnRandomTrees(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		tree, err := gen.Random(gen.Config{Events: 10, Seed: seed, VotingFrac: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mocus, err := MOCUS(tree)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		oracle, err := Exhaustive(tree)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(mocus, oracle) {
+			t.Errorf("seed %d: MOCUS %v != oracle %v", seed, mocus, oracle)
+		}
+	}
+}
+
+func TestExhaustiveRefusesLargeTrees(t *testing.T) {
+	tree, err := gen.Random(gen.Config{Events: MaxOracleEvents + 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exhaustive(tree); err == nil {
+		t.Error("oracle accepted an oversized tree")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	sets := []CutSet{
+		{"a", "b"},
+		{"a"},
+		{"a", "b", "c"},
+		{"b", "c"},
+		{"a"},
+	}
+	got := Minimize(sets)
+	want := []CutSet{{"a"}, {"b", "c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Minimize = %v, want %v", got, want)
+	}
+}
+
+func TestCutSetProbability(t *testing.T) {
+	probs := map[string]float64{"x1": 0.2, "x2": 0.1}
+	if p := (CutSet{"x1", "x2"}).Probability(probs); math.Abs(p-0.02) > 1e-15 {
+		t.Errorf("Probability = %v, want 0.02", p)
+	}
+	if p := (CutSet{}).Probability(probs); p != 1 {
+		t.Errorf("empty set probability = %v, want 1", p)
+	}
+}
+
+func TestIsCutSet(t *testing.T) {
+	tree := gen.FPS()
+	tests := []struct {
+		name string
+		set  []string
+		want bool
+	}{
+		{"mpmcs", []string{"x1", "x2"}, true},
+		{"single sensor", []string{"x1"}, false},
+		{"superset", []string{"x1", "x2", "x5"}, true},
+		{"spof", []string{"x3"}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := IsCutSet(tree, tt.set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("IsCutSet(%v) = %v, want %v", tt.set, got, tt.want)
+			}
+		})
+	}
+	if _, err := IsCutSet(tree, []string{"ghost"}); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if _, err := IsCutSet(tree, []string{"detection"}); err == nil {
+		t.Error("gate id accepted as event")
+	}
+}
+
+func TestIsMinimalCutSet(t *testing.T) {
+	tree := gen.FPS()
+	tests := []struct {
+		name string
+		set  []string
+		want bool
+	}{
+		{"minimal pair", []string{"x1", "x2"}, true},
+		{"non-cut", []string{"x1"}, false},
+		{"superset not minimal", []string{"x1", "x2", "x5"}, false},
+		{"spof minimal", []string{"x4"}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := IsMinimalCutSet(tree, tt.set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("IsMinimalCutSet(%v) = %v, want %v", tt.set, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSPOFs(t *testing.T) {
+	got, err := SPOFs(gen.FPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x3", "x4"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SPOFs = %v, want %v", got, want)
+	}
+
+	spofs, err := SPOFs(gen.PressureTank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"k2", "t1"}
+	if !reflect.DeepEqual(spofs, want) {
+		t.Errorf("PressureTank SPOFs = %v, want %v", spofs, want)
+	}
+}
+
+func TestMaxProbability(t *testing.T) {
+	tree := gen.FPS()
+	sets, err := MOCUS(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, prob := MaxProbability(sets, tree.Probabilities())
+	if !reflect.DeepEqual(best, CutSet{"x1", "x2"}) {
+		t.Errorf("best = %v, want [x1 x2]", best)
+	}
+	if math.Abs(prob-0.02) > 1e-15 {
+		t.Errorf("prob = %v, want 0.02", prob)
+	}
+	if best, prob := MaxProbability(nil, nil); best != nil || prob != 0 {
+		t.Errorf("empty input: %v, %v", best, prob)
+	}
+}
+
+func TestContains(t *testing.T) {
+	tests := []struct {
+		a, b CutSet
+		want bool
+	}{
+		{CutSet{"a", "b", "c"}, CutSet{"a", "c"}, true},
+		{CutSet{"a", "b"}, CutSet{"a", "b"}, true},
+		{CutSet{"a"}, CutSet{"a", "b"}, false},
+		{CutSet{"a", "c"}, CutSet{"b"}, false},
+		{CutSet{"a", "b"}, CutSet{}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.contains(tt.b); got != tt.want {
+			t.Errorf("%v contains %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}

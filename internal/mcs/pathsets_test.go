@@ -1,0 +1,122 @@
+package mcs
+
+import (
+	"reflect"
+	"testing"
+
+	"mpmcs4fta/internal/gen"
+)
+
+func TestPathSetsFPS(t *testing.T) {
+	sets, err := PathSetsViaBDD(gen.FPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Y(t) = (y1|y2) & y3 & y4 & (y5 | (y6&y7)): its minimal cut sets
+	// are the FPS minimal path sets.
+	want := []CutSet{
+		{"x1", "x3", "x4", "x5"},
+		{"x1", "x3", "x4", "x6", "x7"},
+		{"x2", "x3", "x4", "x5"},
+		{"x2", "x3", "x4", "x6", "x7"},
+	}
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("PathSets = %v, want %v", sets, want)
+	}
+}
+
+func TestIsPathSet(t *testing.T) {
+	tree := gen.FPS()
+	tests := []struct {
+		name string
+		set  []string
+		want bool
+	}{
+		{"minimal path set", []string{"x1", "x3", "x4", "x5"}, true},
+		{"superset still path set", []string{"x1", "x2", "x3", "x4", "x5"}, true},
+		{"not a path set", []string{"x1", "x3", "x4"}, false},
+		{"empty set", nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := IsPathSet(tree, tt.set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("IsPathSet(%v) = %v, want %v", tt.set, got, tt.want)
+			}
+		})
+	}
+	if _, err := IsPathSet(tree, []string{"ghost"}); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+// TestPathSetsBlockEveryCutSet: cut sets and path sets must intersect —
+// the defining duality of coherent fault trees.
+func TestPathSetsBlockEveryCutSet(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tree, err := gen.Random(gen.Config{Events: 9, Seed: seed, VotingFrac: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cuts, err := ViaBDD(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := PathSetsViaBDD(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range cuts {
+			inCut := make(map[string]bool, len(cut))
+			for _, id := range cut {
+				inCut[id] = true
+			}
+			for _, path := range paths {
+				intersects := false
+				for _, id := range path {
+					if inCut[id] {
+						intersects = true
+						break
+					}
+				}
+				if !intersects {
+					t.Fatalf("seed %d: cut %v and path %v are disjoint", seed, cut, path)
+				}
+			}
+		}
+	}
+}
+
+// TestPathSetsAreMinimal: removing any element from a minimal path set
+// stops it being a path set.
+func TestPathSetsAreMinimal(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tree, err := gen.Random(gen.Config{Events: 8, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := PathSetsViaBDD(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range paths {
+			ok, err := IsPathSet(tree, path)
+			if err != nil || !ok {
+				t.Fatalf("seed %d: %v is not a path set (%v)", seed, path, err)
+			}
+			for drop := range path {
+				smaller := append(append(CutSet{}, path[:drop]...), path[drop+1:]...)
+				ok, err := IsPathSet(tree, smaller)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					t.Fatalf("seed %d: %v is not minimal (%v suffices)", seed, path, smaller)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package mcs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+)
+
+// genTree is a quick.Generator producing small random fault trees.
+type genTree struct {
+	T *ft.Tree
+}
+
+// Generate implements quick.Generator.
+func (genTree) Generate(r *rand.Rand, _ int) reflect.Value {
+	tree, err := gen.Random(gen.Config{
+		Events:     4 + r.Intn(8),
+		Seed:       r.Int63(),
+		VotingFrac: 0.25,
+	})
+	if err != nil {
+		panic(err) // generator misconfiguration, not a property failure
+	}
+	return reflect.ValueOf(genTree{T: tree})
+}
+
+func mcsQuickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(109))}
+}
+
+// TestQuickMOCUSSetsAreMinimalCutSets: every reported set is a cut set
+// and is minimal.
+func TestQuickMOCUSSetsAreMinimalCutSets(t *testing.T) {
+	property := func(g genTree) bool {
+		sets, err := MOCUS(g.T)
+		if err != nil {
+			return false
+		}
+		for _, set := range sets {
+			ok, err := IsMinimalCutSet(g.T, set)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, mcsQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMOCUSAgreesWithBDD: the classical expansion and the BDD
+// route enumerate identical families.
+func TestQuickMOCUSAgreesWithBDD(t *testing.T) {
+	property := func(g genTree) bool {
+		mocus, err := MOCUS(g.T)
+		if err != nil {
+			return false
+		}
+		viaBDD, err := ViaBDD(g.T)
+		if err != nil {
+			return false
+		}
+		if len(mocus) != len(viaBDD) {
+			return false
+		}
+		for i := range mocus {
+			if !reflect.DeepEqual(mocus[i], viaBDD[i]) {
+				return false
+			}
+		}
+		count, err := CountViaBDD(g.T)
+		return err == nil && count == int64(len(mocus))
+	}
+	if err := quick.Check(property, mcsQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinimizeProducesAntichain: no output set contains another.
+func TestQuickMinimizeProducesAntichain(t *testing.T) {
+	property := func(g genTree) bool {
+		sets, err := MOCUS(g.T)
+		if err != nil {
+			return false
+		}
+		minimized := Minimize(sets)
+		for i := range minimized {
+			for j := range minimized {
+				if i != j && minimized[i].contains(minimized[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, mcsQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaxProbabilityIsMaximal: no enumerated set beats the
+// reported maximum.
+func TestQuickMaxProbabilityIsMaximal(t *testing.T) {
+	property := func(g genTree) bool {
+		sets, err := MOCUS(g.T)
+		if err != nil {
+			return false
+		}
+		probs := g.T.Probabilities()
+		_, best := MaxProbability(sets, probs)
+		for _, set := range sets {
+			if set.Probability(probs) > best+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, mcsQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSPOFsAreSingletonCutSets: SPOF ⇔ the singleton {e} is a cut
+// set.
+func TestQuickSPOFsAreSingletonCutSets(t *testing.T) {
+	property := func(g genTree) bool {
+		spofs, err := SPOFs(g.T)
+		if err != nil {
+			return false
+		}
+		isSPOF := make(map[string]bool, len(spofs))
+		for _, id := range spofs {
+			isSPOF[id] = true
+		}
+		for _, e := range g.T.Events() {
+			cut, err := IsCutSet(g.T, []string{e.ID})
+			if err != nil {
+				return false
+			}
+			if cut != isSPOF[e.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, mcsQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package mcs
+
+import (
+	"mpmcs4fta/internal/bdd"
+	"mpmcs4fta/internal/ft"
+)
+
+// ViaBDD computes all minimal cut sets through the BDD engine (Rauzy's
+// algorithm): polynomial in the BDD size rather than in the number of
+// products, so it scales far beyond MOCUS. The output order matches
+// MOCUS (lexicographic).
+func ViaBDD(t *ft.Tree) ([]CutSet, error) {
+	f, err := t.Formula()
+	if err != nil {
+		return nil, err
+	}
+	m, err := bdd.NewManager(t.DFSEventOrder())
+	if err != nil {
+		return nil, err
+	}
+	m.SetNodeLimit(bdd.DefaultNodeLimit)
+	ref, err := m.FromExpr(f)
+	if err != nil {
+		return nil, err
+	}
+	family, err := m.MinimalCutSets(ref)
+	if err != nil {
+		return nil, err
+	}
+	sets := m.ZSets(family)
+	out := make([]CutSet, len(sets))
+	for i, set := range sets {
+		out[i] = CutSet(set)
+	}
+	SortSets(out)
+	return out, nil
+}
+
+// CountViaBDD returns the number of minimal cut sets without
+// enumerating them — usable even when the family is astronomically
+// large.
+func CountViaBDD(t *ft.Tree) (int64, error) {
+	f, err := t.Formula()
+	if err != nil {
+		return 0, err
+	}
+	m, err := bdd.NewManager(t.DFSEventOrder())
+	if err != nil {
+		return 0, err
+	}
+	m.SetNodeLimit(bdd.DefaultNodeLimit)
+	ref, err := m.FromExpr(f)
+	if err != nil {
+		return 0, err
+	}
+	family, err := m.MinimalCutSets(ref)
+	if err != nil {
+		return 0, err
+	}
+	return m.ZCount(family), nil
+}

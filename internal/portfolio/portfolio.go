@@ -1,0 +1,170 @@
+// Package portfolio implements Step 5 of the paper's pipeline: several
+// pre-configured MaxSAT solvers run in parallel on the same instance and
+// the solution of the solver that finishes first is used. The paper
+// motivates this with the observation that SAT-based solvers are "very
+// good at some instances and not that good at others"; running a diverse
+// portfolio gives stable behaviour across instance families.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/maxsat"
+	"mpmcs4fta/internal/sat"
+)
+
+// Engine is a named portfolio member.
+type Engine struct {
+	Name   string
+	Solver maxsat.Solver
+}
+
+// DefaultEngines returns the standard portfolio: the three algorithms of
+// internal/maxsat plus heuristically diversified variants of the
+// SAT-backed ones.
+func DefaultEngines() []Engine {
+	return []Engine{
+		{Name: "wmsu1", Solver: &maxsat.WMSU1{}},
+		{Name: "wmsu1-strat", Solver: &maxsat.WMSU1{Stratified: true}},
+		{Name: "linear-su", Solver: &maxsat.LinearSU{}},
+		{Name: "wmsu1-pos", Solver: &maxsat.WMSU1{SatOptions: sat.Options{InitialPhase: true}}},
+		{Name: "linear-su-rnd", Solver: &maxsat.LinearSU{SatOptions: sat.Options{RandomSeed: 1, RestartBase: 50}}},
+		{Name: "branch-bound", Solver: &maxsat.BranchBound{}},
+	}
+}
+
+// EngineReport describes one portfolio member's run.
+type EngineReport struct {
+	Name      string
+	Elapsed   time.Duration
+	Completed bool   // finished with a definitive answer
+	Err       string // non-empty when the engine failed or was cancelled
+}
+
+// Report summarises a portfolio run.
+type Report struct {
+	Winner  string
+	Elapsed time.Duration
+	Engines []EngineReport
+}
+
+// ErrNoEngines is returned when Solve is called with an empty portfolio.
+var ErrNoEngines = errors.New("portfolio: no engines")
+
+// Solve runs all engines concurrently on (copies of) the instance and
+// returns the first definitive result; the remaining engines are
+// cancelled and awaited before returning, so no goroutines outlive the
+// call. When every engine fails, the first error is returned.
+func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result, Report, error) {
+	if len(engines) == 0 {
+		return maxsat.Result{}, Report{}, ErrNoEngines
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		index   int
+		result  maxsat.Result
+		err     error
+		elapsed time.Duration
+	}
+	results := make(chan outcome, len(engines))
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i, engine := range engines {
+		wg.Add(1)
+		go func(index int, e Engine, copyInst *cnf.WCNF) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := solveIsolated(runCtx, e.Solver, copyInst)
+			results <- outcome{index: index, result: res, err: err, elapsed: time.Since(t0)}
+		}(i, engine, inst.Clone())
+	}
+
+	report := Report{Engines: make([]EngineReport, len(engines))}
+	for i, e := range engines {
+		report.Engines[i] = EngineReport{Name: e.Name}
+	}
+
+	var (
+		winner   *outcome
+		firstErr error
+	)
+	for received := 0; received < len(engines); received++ {
+		out := <-results
+		rep := &report.Engines[out.index]
+		rep.Elapsed = out.elapsed
+		switch {
+		case out.err != nil:
+			rep.Err = out.err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("portfolio: engine %s: %w", engines[out.index].Name, out.err)
+			}
+		default:
+			rep.Completed = true
+			if winner == nil {
+				win := out
+				winner = &win
+				report.Winner = engines[out.index].Name
+				report.Elapsed = time.Since(start)
+				cancel() // stop the stragglers
+			}
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	if winner == nil {
+		return maxsat.Result{}, report, firstErr
+	}
+	return winner.result, report, nil
+}
+
+// solveIsolated converts a panicking engine into an error so a bug in
+// one portfolio member cannot take down the race (the other engines
+// keep running and the caller still gets an answer).
+func solveIsolated(ctx context.Context, s maxsat.Solver, inst *cnf.WCNF) (res maxsat.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = maxsat.Result{}
+			err = fmt.Errorf("portfolio: engine panicked: %v", r)
+		}
+	}()
+	return s.Solve(ctx, inst)
+}
+
+// SolveSequential runs the engines one at a time in order and returns
+// the first definitive answer. It exists for deterministic tests and
+// single-threaded benchmarking of individual engines.
+func SolveSequential(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result, Report, error) {
+	if len(engines) == 0 {
+		return maxsat.Result{}, Report{}, ErrNoEngines
+	}
+	report := Report{Engines: make([]EngineReport, len(engines))}
+	start := time.Now()
+	var firstErr error
+	for i, engine := range engines {
+		report.Engines[i] = EngineReport{Name: engine.Name}
+		t0 := time.Now()
+		res, err := engine.Solver.Solve(ctx, inst.Clone())
+		report.Engines[i].Elapsed = time.Since(t0)
+		if err != nil {
+			report.Engines[i].Err = err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("portfolio: engine %s: %w", engine.Name, err)
+			}
+			continue
+		}
+		report.Engines[i].Completed = true
+		report.Winner = engine.Name
+		report.Elapsed = time.Since(start)
+		return res, report, nil
+	}
+	return maxsat.Result{}, report, firstErr
+}

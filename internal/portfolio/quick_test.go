@@ -1,0 +1,121 @@
+package portfolio
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/maxsat"
+)
+
+// genInstance is a quick.Generator for small random WPMS instances.
+type genInstance struct {
+	W *cnf.WCNF
+}
+
+// Generate implements quick.Generator.
+func (genInstance) Generate(r *rand.Rand, _ int) reflect.Value {
+	numVars := 3 + r.Intn(6)
+	w := &cnf.WCNF{NumVars: numVars}
+	for i := r.Intn(2 * numVars); i > 0; i-- {
+		a := cnf.Lit(r.Intn(numVars) + 1)
+		b := cnf.Lit(r.Intn(numVars) + 1)
+		if r.Intn(2) == 0 {
+			a = -a
+		}
+		if r.Intn(2) == 0 {
+			b = -b
+		}
+		w.AddHard(a, b)
+	}
+	for v := 1; v <= numVars; v++ {
+		w.AddSoft(int64(1+r.Intn(50)), -cnf.Lit(v))
+	}
+	return reflect.ValueOf(genInstance{W: w})
+}
+
+func portfolioQuickConfig() *quick.Config {
+	return &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(179))}
+}
+
+// TestQuickParallelMatchesSequential: the racing portfolio and the
+// deterministic sequential runner always agree on status and cost.
+func TestQuickParallelMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genInstance) bool {
+		par, _, err1 := Solve(ctx, g.W, DefaultEngines())
+		seq, _, err2 := SolveSequential(ctx, g.W, DefaultEngines())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if par.Status != seq.Status {
+			return false
+		}
+		return par.Status != maxsat.Optimal || par.Cost == seq.Cost
+	}
+	if err := quick.Check(property, portfolioQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReportConsistency: the winner is recorded, completed, and
+// error-free; every engine appears exactly once in the report.
+func TestQuickReportConsistency(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genInstance) bool {
+		_, report, err := Solve(ctx, g.W, DefaultEngines())
+		if err != nil {
+			return false
+		}
+		if len(report.Engines) != len(DefaultEngines()) {
+			return false
+		}
+		winnerSeen := false
+		for _, rep := range report.Engines {
+			if rep.Name == report.Winner {
+				winnerSeen = true
+				if !rep.Completed || rep.Err != "" {
+					return false
+				}
+			}
+		}
+		return winnerSeen
+	}
+	if err := quick.Check(property, portfolioQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInstanceNotMutated: solving never mutates the caller's
+// instance (engines work on clones).
+func TestQuickInstanceNotMutated(t *testing.T) {
+	ctx := context.Background()
+	property := func(g genInstance) bool {
+		before := g.W.Clone()
+		if _, _, err := Solve(ctx, g.W, DefaultEngines()); err != nil {
+			return false
+		}
+		if g.W.NumVars != before.NumVars ||
+			len(g.W.Hard) != len(before.Hard) ||
+			len(g.W.Soft) != len(before.Soft) {
+			return false
+		}
+		for i := range before.Hard {
+			if !reflect.DeepEqual(g.W.Hard[i], before.Hard[i]) {
+				return false
+			}
+		}
+		for i := range before.Soft {
+			if !reflect.DeepEqual(g.W.Soft[i], before.Soft[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, portfolioQuickConfig()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"mpmcs4fta/internal/ft"
+)
+
+// BottomUpProbability computes the exact top-event probability of a
+// tree-shaped fault tree (no shared nodes) in a single bottom-up pass:
+// AND gates multiply, OR gates complement-multiply, and K-of-N voting
+// gates use the Poisson-binomial tail computed by dynamic programming.
+// It runs in O(nodes · fan-in²) — no BDD, so it scales to trees far
+// past the BDD node budget. Shared (DAG) structures are rejected
+// because gate inputs would no longer be independent; use
+// TopEventProbability (exact via BDD) there.
+func BottomUpProbability(t *ft.Tree) (float64, error) {
+	treeShaped, err := t.IsTreeShaped()
+	if err != nil {
+		return 0, err
+	}
+	if !treeShaped {
+		return 0, fmt.Errorf("quant: tree has shared nodes; bottom-up probability requires a tree shape")
+	}
+	var walk func(id string) float64
+	walk = func(id string) float64 {
+		if e := t.Event(id); e != nil {
+			return e.Prob
+		}
+		g := t.Gate(id)
+		probs := make([]float64, len(g.Inputs))
+		for i, in := range g.Inputs {
+			probs[i] = walk(in)
+		}
+		switch g.Type {
+		case ft.GateAnd:
+			p := 1.0
+			for _, q := range probs {
+				p *= q
+			}
+			return p
+		case ft.GateOr:
+			return orProbability(probs)
+		default: // ft.GateVoting
+			return atLeastProbability(g.K, probs)
+		}
+	}
+	return walk(t.Top()), nil
+}
+
+// orProbability returns 1 − ∏(1−qᵢ) computed in log space:
+// −expm1(Σ log1p(−qᵢ)). The naive form collapses to 0 once every qᵢ
+// drops below 2⁻⁵³ (1−q rounds to exactly 1), silently erasing rare
+// branches; the log form keeps full relative precision down to the
+// denormal range.
+func orProbability(probs []float64) float64 {
+	sum := 0.0
+	for _, q := range probs {
+		if q >= 1 {
+			return 1
+		}
+		sum += math.Log1p(-q)
+	}
+	return -math.Expm1(sum)
+}
+
+// atLeastProbability returns P[at least k of n independent events with
+// the given probabilities occur] — the Poisson-binomial tail, by the
+// standard O(n·k) dynamic program over "exactly j among the first i".
+func atLeastProbability(k int, probs []float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	n := len(probs)
+	if k > n {
+		return 0
+	}
+	// dp[j] = P[exactly j successes so far], capped at k (bucket k
+	// accumulates "k or more").
+	dp := make([]float64, k+1)
+	dp[0] = 1
+	for _, p := range probs {
+		for j := k; j >= 1; j-- {
+			if j == k {
+				dp[k] = dp[k] + dp[k-1]*p
+			} else {
+				dp[j] = dp[j]*(1-p) + dp[j-1]*p
+			}
+		}
+		dp[0] *= 1 - p
+	}
+	return dp[k]
+}

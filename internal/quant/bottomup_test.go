@@ -1,0 +1,171 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+	"mpmcs4fta/internal/mcs"
+)
+
+func TestBottomUpMatchesBDDOnNamedTrees(t *testing.T) {
+	// FPS and PressureTank are strictly tree shaped.
+	for _, tree := range []*ft.Tree{gen.FPS(), gen.PressureTank(), gen.RedundantSCADA()} {
+		exact, err := TopEventProbability(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		fast, err := BottomUpProbability(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		if math.Abs(exact-fast) > 1e-12 {
+			t.Errorf("%s: bottom-up %v, BDD %v", tree.Name(), fast, exact)
+		}
+	}
+}
+
+func TestBottomUpMatchesBDDOnRandomTrees(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tree, err := gen.Random(gen.Config{Events: 14, Seed: seed, NoSharing: true, VotingFrac: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := TopEventProbability(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := BottomUpProbability(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-fast) > 1e-10 {
+			t.Errorf("seed %d: bottom-up %v, BDD %v", seed, fast, exact)
+		}
+	}
+}
+
+func TestBottomUpRejectsSharedStructure(t *testing.T) {
+	tree := ft.New("dag")
+	for _, id := range []string{"a", "b"} {
+		if err := tree.AddEvent(id, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.AddAnd("g1", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("g2", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddOr("top", "g1", "g2"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	if _, err := BottomUpProbability(tree); err == nil {
+		t.Error("shared structure accepted")
+	}
+}
+
+func TestBottomUpScalesToHugeTrees(t *testing.T) {
+	// 50k events: far past the BDD node budget; bottom-up is linear.
+	tree, err := gen.Random(gen.Config{Events: 50000, Seed: 3, NoSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BottomUpProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0 || p > 1 {
+		t.Errorf("P(top) = %v outside [0,1]", p)
+	}
+}
+
+// TestOrProbabilityTinyOperands is the regression test for the
+// catastrophic cancellation bug: with every operand below 2⁻⁵³ the
+// naive 1−∏(1−q) collapses to exactly 0; the log-space form must keep
+// the rare-event sum.
+func TestOrProbabilityTinyOperands(t *testing.T) {
+	got := orProbability([]float64{1e-19, 8e-51})
+	if got == 0 {
+		t.Fatal("tiny OR collapsed to zero (catastrophic cancellation)")
+	}
+	if math.Abs(got-1e-19)/1e-19 > 1e-9 {
+		t.Errorf("orProbability = %g, want ≈1e-19", got)
+	}
+	// End to end: an OR gate over events below the cancellation
+	// threshold must agree with the BDD engine.
+	tree := ft.New("tinyor")
+	if err := tree.AddEvent("a", 1e-19); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddEvent("b", 3e-20); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddOr("top", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	fast, err := BottomUpProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast <= 0 || math.Abs(fast-1.3e-19)/1.3e-19 > 1e-9 {
+		t.Errorf("BottomUpProbability = %g, want ≈1.3e-19", fast)
+	}
+	sets := []mcs.CutSet{{"a"}, {"b"}}
+	if p := MinCutUpperBound(sets, tree.Probabilities()); p == 0 {
+		t.Error("MinCutUpperBound collapsed to zero on tiny probabilities")
+	}
+}
+
+func TestAtLeastProbability(t *testing.T) {
+	tests := []struct {
+		name  string
+		k     int
+		probs []float64
+		want  float64
+	}{
+		{"k=0 always", 0, []float64{0.5}, 1},
+		{"k>n never", 3, []float64{0.5, 0.5}, 0},
+		{"1 of 1", 1, []float64{0.3}, 0.3},
+		{"1 of 2 (or)", 1, []float64{0.5, 0.5}, 0.75},
+		{"2 of 2 (and)", 2, []float64{0.5, 0.4}, 0.2},
+		// 2 of 3 with p=.5 each: C(3,2)·0.125 + 0.125 = 0.5.
+		{"2 of 3 identical", 2, []float64{0.5, 0.5, 0.5}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := atLeastProbability(tt.k, tt.probs); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("atLeastProbability = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAtLeastProbabilityAgainstEnumeration(t *testing.T) {
+	probs := []float64{0.1, 0.7, 0.4, 0.25, 0.9}
+	for k := 0; k <= 6; k++ {
+		want := 0.0
+		for mask := 0; mask < 1<<len(probs); mask++ {
+			count := 0
+			p := 1.0
+			for i, q := range probs {
+				if mask&(1<<i) != 0 {
+					count++
+					p *= q
+				} else {
+					p *= 1 - q
+				}
+			}
+			if count >= k {
+				want += p
+			}
+		}
+		if got := atLeastProbability(k, probs); math.Abs(got-want) > 1e-12 {
+			t.Errorf("k=%d: got %v, want %v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package quant
+
+import (
+	"fmt"
+
+	"mpmcs4fta/internal/ft"
+)
+
+// Interval is a closed probability interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// IntervalProbability propagates epistemic uncertainty: given an
+// interval of failure probability for some (or all) basic events, it
+// returns guaranteed bounds on P(top). Coherent structure functions are
+// monotone in every event probability, so the exact bounds are obtained
+// by evaluating the tree once at all lower bounds and once at all upper
+// bounds. Events absent from the map use their point probability.
+func IntervalProbability(t *ft.Tree, intervals map[string]Interval) (Interval, error) {
+	if err := t.Validate(); err != nil {
+		return Interval{}, err
+	}
+	for id, iv := range intervals {
+		if t.Event(id) == nil {
+			return Interval{}, fmt.Errorf("quant: %q is not a basic event", id)
+		}
+		if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+			return Interval{}, fmt.Errorf("quant: event %q has invalid interval [%v, %v]", id, iv.Lo, iv.Hi)
+		}
+	}
+	atBound := func(upper bool) (float64, error) {
+		bounded := t.Clone()
+		for id, iv := range intervals {
+			p := iv.Lo
+			if upper {
+				p = iv.Hi
+			}
+			if err := bounded.SetProb(id, p); err != nil {
+				return 0, err
+			}
+		}
+		return TopEventProbability(bounded)
+	}
+	lo, err := atBound(false)
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := atBound(true)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}

@@ -1,0 +1,87 @@
+package quant
+
+import (
+	"testing"
+
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+)
+
+func TestIntervalProbabilityBracketsPoint(t *testing.T) {
+	tree := gen.FPS()
+	point, err := TopEventProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := IntervalProbability(tree, map[string]Interval{
+		"x1": {Lo: 0.1, Hi: 0.3}, // point value 0.2 inside
+		"x7": {Lo: 0.01, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo > point || iv.Hi < point {
+		t.Errorf("interval [%v, %v] does not bracket point %v", iv.Lo, iv.Hi, point)
+	}
+	if iv.Lo >= iv.Hi {
+		t.Errorf("interval degenerate: [%v, %v]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestIntervalProbabilityDegenerate(t *testing.T) {
+	tree := gen.FPS()
+	point, err := TopEventProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := IntervalProbability(tree, map[string]Interval{
+		"x1": {Lo: 0.2, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != point || iv.Hi != point {
+		t.Errorf("point interval should reproduce the point: [%v, %v] vs %v", iv.Lo, iv.Hi, point)
+	}
+	// No intervals at all: both bounds are the point value.
+	iv, err = IntervalProbability(tree, nil)
+	if err != nil || iv.Lo != point || iv.Hi != point {
+		t.Errorf("empty map: [%v, %v], %v", iv.Lo, iv.Hi, err)
+	}
+}
+
+func TestIntervalProbabilityMonotone(t *testing.T) {
+	// Widening any interval can only widen the bounds.
+	tree := gen.RedundantSCADA()
+	narrow, err := IntervalProbability(tree, map[string]Interval{
+		"c1": {Lo: 0.005, Hi: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := IntervalProbability(tree, map[string]Interval{
+		"c1": {Lo: 0.001, Hi: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Lo > narrow.Lo+1e-15 || wide.Hi < narrow.Hi-1e-15 {
+		t.Errorf("wider input produced narrower output: %+v vs %+v", wide, narrow)
+	}
+}
+
+func TestIntervalProbabilityErrors(t *testing.T) {
+	tree := gen.FPS()
+	if _, err := IntervalProbability(tree, map[string]Interval{"ghost": {Lo: 0, Hi: 1}}); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if _, err := IntervalProbability(tree, map[string]Interval{"x1": {Lo: 0.5, Hi: 0.2}}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, err := IntervalProbability(tree, map[string]Interval{"x1": {Lo: -0.1, Hi: 0.2}}); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := IntervalProbability(ft.New("bad"), nil); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+)
+
+func TestModularMatchesBDDOnNamedTrees(t *testing.T) {
+	for _, tree := range []*ft.Tree{gen.FPS(), gen.PressureTank(), gen.RedundantSCADA()} {
+		exact, err := TopEventProbability(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		modular, err := ModularProbability(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		if math.Abs(exact-modular) > 1e-12 {
+			t.Errorf("%s: modular %v, monolithic %v", tree.Name(), modular, exact)
+		}
+	}
+}
+
+func TestModularMatchesBDDOnSharedTrees(t *testing.T) {
+	// Random trees with sharing: modular decomposition must agree with
+	// the monolithic BDD wherever the latter completes.
+	for seed := int64(0); seed < 20; seed++ {
+		tree, err := gen.Random(gen.Config{Events: 14, Seed: seed, VotingFrac: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := TopEventProbability(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modular, err := ModularProbability(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-modular) > 1e-10 {
+			t.Errorf("seed %d: modular %v, monolithic %v", seed, modular, exact)
+		}
+	}
+}
+
+func TestModularHandlesSharingInsideModule(t *testing.T) {
+	// Event s is shared by two gates under "mid"; mid is a module, so
+	// its internal BDD resolves the dependence exactly. A naive
+	// bottom-up pass would get this wrong.
+	tree := ft.New("sharedInModule")
+	for _, e := range []struct {
+		id   string
+		prob float64
+	}{{"a", 0.3}, {"b", 0.4}, {"s", 0.5}, {"out", 0.2}} {
+		if err := tree.AddEvent(e.id, e.prob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK(tree.AddAnd("left", "a", "s"))
+	mustOK(tree.AddAnd("right", "b", "s"))
+	mustOK(tree.AddOr("mid", "left", "right"))
+	mustOK(tree.AddOr("top", "mid", "out"))
+	tree.SetTop("top")
+
+	exact, err := TopEventProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modular, err := ModularProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-modular) > 1e-12 {
+		t.Errorf("modular %v, monolithic %v", modular, exact)
+	}
+	// Cross-check the closed form: P(mid) = P((a∨... ) with shared s)
+	// = p(s)·(1−(1−.3)(1−.4)) = .5·.58 = .29; P(top) = 1−(1−.29)(1−.2).
+	want := 1 - (1-0.29)*(1-0.2)
+	if math.Abs(exact-want) > 1e-12 {
+		t.Errorf("closed form %v, BDD %v", want, exact)
+	}
+
+	// BottomUpProbability must refuse this shape.
+	if _, err := BottomUpProbability(tree); err == nil {
+		t.Error("bottom-up accepted a shared structure")
+	}
+}
+
+func TestModularInvalidTree(t *testing.T) {
+	if _, err := ModularProbability(ft.New("bad")); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"mpmcs4fta/internal/boolexpr"
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+	"mpmcs4fta/internal/mcs"
+)
+
+// exactBruteForce computes P(top) by weighted truth-table enumeration.
+func exactBruteForce(t *testing.T, tree *ft.Tree) float64 {
+	t.Helper()
+	f, err := tree.Formula()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := tree.Probabilities()
+	vars := boolexpr.Vars(f)
+	total := 0.0
+	boolexpr.AllAssignments(vars, func(assign map[string]bool) bool {
+		if !f.Eval(assign) {
+			return true
+		}
+		p := 1.0
+		for _, v := range vars {
+			if assign[v] {
+				p *= probs[v]
+			} else {
+				p *= 1 - probs[v]
+			}
+		}
+		total += p
+		return true
+	})
+	return total
+}
+
+func TestTopEventProbabilityAgainstBruteForce(t *testing.T) {
+	trees := []*ft.Tree{gen.FPS(), gen.PressureTank(), gen.RedundantSCADA()}
+	for _, tree := range trees {
+		got, err := TopEventProbability(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		want := exactBruteForce(t, tree)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: P(top) = %v, want %v", tree.Name(), got, want)
+		}
+	}
+}
+
+func TestTopEventProbabilityRandom(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		tree, err := gen.Random(gen.Config{Events: 12, Seed: seed, VotingFrac: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TopEventProbability(tree)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := exactBruteForce(t, tree)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("seed %d: P(top) = %v, want %v", seed, got, want)
+		}
+	}
+}
+
+func TestApproximationsBracketExact(t *testing.T) {
+	trees := []*ft.Tree{gen.FPS(), gen.PressureTank(), gen.RedundantSCADA()}
+	for _, tree := range trees {
+		exact, err := TopEventProbability(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets, err := mcs.MOCUS(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs := tree.Probabilities()
+		rare := RareEventApprox(sets, probs)
+		upper := MinCutUpperBound(sets, probs)
+		const eps = 1e-12
+		if upper < exact-eps {
+			t.Errorf("%s: min-cut upper bound %v below exact %v", tree.Name(), upper, exact)
+		}
+		if rare < upper-eps {
+			t.Errorf("%s: rare-event %v below min-cut bound %v", tree.Name(), rare, upper)
+		}
+	}
+}
+
+func TestMeasuresFPS(t *testing.T) {
+	tree := gen.FPS()
+	measures, err := Measures(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(measures) != 7 {
+		t.Fatalf("got %d measures", len(measures))
+	}
+	byEvent := make(map[string]Importance, len(measures))
+	for _, m := range measures {
+		byEvent[m.Event] = m
+	}
+
+	// Birnbaum for x3 (an OR-side SPOF) must exceed x1's (half of an
+	// AND pair with a low-probability partner).
+	if byEvent["x3"].Birnbaum <= byEvent["x1"].Birnbaum {
+		t.Errorf("Birnbaum(x3)=%v should exceed Birnbaum(x1)=%v",
+			byEvent["x3"].Birnbaum, byEvent["x1"].Birnbaum)
+	}
+	// Sorted descending by Birnbaum.
+	for i := 1; i < len(measures); i++ {
+		if measures[i].Birnbaum > measures[i-1].Birnbaum {
+			t.Error("measures not sorted by Birnbaum descending")
+		}
+	}
+	// Sanity: Criticality within [0,1], RAW ≥ 1 is typical for OR-ish
+	// trees, RRW ≥ 1 always (removing a failure can only help).
+	for _, m := range measures {
+		if m.Criticality < -1e-12 || m.Criticality > 1+1e-12 {
+			t.Errorf("%s: criticality %v outside [0,1]", m.Event, m.Criticality)
+		}
+		if m.RRW < 1-1e-12 {
+			t.Errorf("%s: RRW %v < 1", m.Event, m.RRW)
+		}
+	}
+}
+
+func TestBirnbaumMatchesDerivativeDefinition(t *testing.T) {
+	// B_i = P(top | e=1) − P(top | e=0) computed independently by
+	// setting the event probability to 1 / 0 and re-evaluating.
+	tree := gen.PressureTank()
+	measures, err := Measures(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range measures {
+		with := tree.Clone()
+		if err := with.SetProb(m.Event, 1); err != nil {
+			t.Fatal(err)
+		}
+		pWith, err := TopEventProbability(with)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without := tree.Clone()
+		if err := without.SetProb(m.Event, 0); err != nil {
+			t.Fatal(err)
+		}
+		pWithout, err := TopEventProbability(without)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Birnbaum-(pWith-pWithout)) > 1e-12 {
+			t.Errorf("%s: Birnbaum %v != %v", m.Event, m.Birnbaum, pWith-pWithout)
+		}
+	}
+}
+
+func TestMeasuresInvalidTree(t *testing.T) {
+	if _, err := Measures(ft.New("empty")); err == nil {
+		t.Error("invalid tree accepted")
+	}
+	if _, err := TopEventProbability(ft.New("empty")); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}
+
+func TestSafeFrac(t *testing.T) {
+	if safeFrac(1, 2) != 0.5 {
+		t.Error("plain division wrong")
+	}
+	if safeFrac(0, 0) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	if !math.IsInf(safeFrac(1, 0), 1) {
+		t.Error("1/0 should be +Inf")
+	}
+	if !math.IsInf(safeFrac(-1, 0), -1) {
+		t.Error("-1/0 should be -Inf")
+	}
+}

@@ -1,0 +1,219 @@
+package sat
+
+import (
+	"context"
+	"fmt"
+
+	"mpmcs4fta/internal/cnf"
+)
+
+// Dpll is a plain DPLL solver: recursive search with unit propagation
+// and pure-literal elimination, no learning. It exists as a behavioural
+// contrast to the CDCL Solver — a genuinely different engine for the
+// Step-5 portfolio — and as an oracle in tests. It is only suitable for
+// small-to-medium instances.
+type Dpll struct {
+	numVars int
+	clauses []cnf.Clause
+	model   []bool
+	steps   int64
+	unsat   bool
+}
+
+// NewDpll returns a DPLL solver over variables 1..numVars.
+func NewDpll(numVars int) *Dpll {
+	return &Dpll{numVars: numVars}
+}
+
+// AddClause adds a clause; variables grow on demand.
+func (d *Dpll) AddClause(lits ...cnf.Lit) bool {
+	clause := make(cnf.Clause, len(lits))
+	copy(clause, lits)
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: literal 0 in clause")
+		}
+		if v := l.Var(); v > d.numVars {
+			d.numVars = v
+		}
+	}
+	if len(clause) == 0 {
+		d.unsat = true
+		return false
+	}
+	d.clauses = append(d.clauses, clause)
+	return true
+}
+
+// AddFormula adds all clauses of f.
+func (d *Dpll) AddFormula(f *cnf.Formula) bool {
+	if f.NumVars > d.numVars {
+		d.numVars = f.NumVars
+	}
+	for _, c := range f.Clauses {
+		if !d.AddClause(c...) {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve runs DPLL under the given assumptions.
+func (d *Dpll) Solve(ctx context.Context, assumptions ...cnf.Lit) (Status, error) {
+	if d.unsat {
+		return Unsat, nil
+	}
+	assign := make([]lbool, d.numVars+1)
+	for _, a := range assumptions {
+		if v := a.Var(); v > d.numVars {
+			return Unknown, fmt.Errorf("sat: assumption %v beyond %d variables", a, d.numVars)
+		}
+		want := lTrue
+		if a < 0 {
+			want = lFalse
+		}
+		prev := assign[a.Var()]
+		if prev != lUndef && prev != want {
+			return Unsat, nil
+		}
+		assign[a.Var()] = want
+	}
+	d.steps = 0
+	status, err := d.dpll(ctx, assign)
+	if err != nil {
+		return Unknown, err
+	}
+	if status == Sat {
+		d.model = make([]bool, d.numVars+1)
+		for v := 1; v <= d.numVars; v++ {
+			d.model[v] = assign[v] == lTrue
+		}
+	}
+	return status, nil
+}
+
+// Model returns the satisfying assignment from the last Sat result
+// (index 0 unused).
+func (d *Dpll) Model() []bool { return d.model }
+
+func litValue(assign []lbool, l cnf.Lit) lbool {
+	v := assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+// dpll mutates assign during search; on Sat the assignment is left in
+// place, on Unsat every tentative change is rolled back.
+func (d *Dpll) dpll(ctx context.Context, assign []lbool) (Status, error) {
+	d.steps++
+	if d.steps&255 == 0 {
+		if err := ctx.Err(); err != nil {
+			return Unknown, fmt.Errorf("%w: %v", ErrInterrupted, err)
+		}
+	}
+
+	var trail []cnf.Lit
+	undo := func() {
+		for _, l := range trail {
+			assign[l.Var()] = lUndef
+		}
+	}
+
+	// Unit propagation to fixpoint.
+	for {
+		unit := cnf.Lit(0)
+		for _, clause := range d.clauses {
+			satisfied := false
+			unassigned := 0
+			var candidate cnf.Lit
+			for _, l := range clause {
+				switch litValue(assign, l) {
+				case lTrue:
+					satisfied = true
+				case lUndef:
+					unassigned++
+					candidate = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				undo()
+				return Unsat, nil
+			}
+			if unassigned == 1 {
+				unit = candidate
+				break
+			}
+		}
+		if unit == 0 {
+			break
+		}
+		if unit > 0 {
+			assign[unit.Var()] = lTrue
+		} else {
+			assign[unit.Var()] = lFalse
+		}
+		trail = append(trail, unit)
+	}
+
+	// Choose the first unassigned variable appearing in an unsatisfied
+	// clause; if none, all clauses are satisfied.
+	branch := 0
+	for _, clause := range d.clauses {
+		satisfied := false
+		var firstUndef int
+		for _, l := range clause {
+			switch litValue(assign, l) {
+			case lTrue:
+				satisfied = true
+			case lUndef:
+				if firstUndef == 0 {
+					firstUndef = l.Var()
+				}
+			}
+			if satisfied {
+				break
+			}
+		}
+		if !satisfied && firstUndef != 0 {
+			branch = firstUndef
+			break
+		}
+	}
+	if branch == 0 {
+		// Every clause satisfied; assign remaining variables false for
+		// a total model.
+		for v := 1; v <= d.numVars; v++ {
+			if assign[v] == lUndef {
+				assign[v] = lFalse
+			}
+		}
+		return Sat, nil
+	}
+
+	for _, value := range []lbool{lTrue, lFalse} {
+		assign[branch] = value
+		status, err := d.dpll(ctx, assign)
+		if err != nil {
+			assign[branch] = lUndef
+			undo()
+			return Unknown, err
+		}
+		if status == Sat {
+			return Sat, nil
+		}
+	}
+	assign[branch] = lUndef
+	undo()
+	return Unsat, nil
+}

@@ -1,0 +1,100 @@
+package sat
+
+// varHeap is an indexed max-heap of variables ordered by VSIDS activity.
+// It supports decrease/increase-key via the position index, which the
+// solver uses when bumping activities of variables already enqueued.
+type varHeap struct {
+	heap     []int // heap of variables
+	indices  []int // variable -> position in heap, -1 if absent
+	activity *[]float64
+}
+
+func newVarHeap(activity *[]float64) *varHeap {
+	return &varHeap{activity: activity}
+}
+
+func (h *varHeap) grow(numVars int) {
+	for len(h.indices) < numVars {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) contains(v int) bool { return h.indices[v] >= 0 }
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) less(a, b int) bool {
+	return (*h.activity)[h.heap[a]] > (*h.activity)[h.heap[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.indices[h.heap[a]] = a
+	h.indices[h.heap[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(h.heap) && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < len(h.heap) && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// insert adds v if absent.
+func (h *varHeap) insert(v int) {
+	if h.contains(v) {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+// update re-establishes heap order after v's activity increased.
+func (h *varHeap) update(v int) {
+	if h.contains(v) {
+		h.up(h.indices[v])
+	}
+}
+
+// removeMax pops the most active variable.
+func (h *varHeap) removeMax() int {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.indices[top] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// rebuild restores the heap property after a global activity rescale.
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}

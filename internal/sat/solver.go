@@ -1,0 +1,935 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mpmcs4fta/internal/cnf"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ErrInterrupted is returned (wrapped) when a Solve call is cancelled
+// through its context.
+var ErrInterrupted = errors.New("sat: interrupted")
+
+// Options tunes solver heuristics. The zero value selects defaults;
+// fields exist chiefly to diversify portfolio members.
+type Options struct {
+	// VarDecay is the VSIDS activity decay factor in (0,1); default 0.95.
+	VarDecay float64
+	// ClauseDecay is the learnt-clause activity decay; default 0.999.
+	ClauseDecay float64
+	// RestartBase is the Luby restart unit in conflicts; default 100.
+	RestartBase int
+	// InitialPhase is the default polarity for unassigned variables
+	// before phase saving kicks in (false = try false first, the
+	// MiniSat default).
+	InitialPhase bool
+	// RandomSeed, when non-zero, enables occasional random decisions
+	// (frequency RandomFreq) seeded deterministically.
+	RandomSeed int64
+	// RandomFreq is the fraction of random decisions in [0,1); default
+	// 0.02 when RandomSeed is set.
+	RandomFreq float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.VarDecay == 0 {
+		o.VarDecay = 0.95
+	}
+	if o.ClauseDecay == 0 {
+		o.ClauseDecay = 0.999
+	}
+	if o.RestartBase == 0 {
+		o.RestartBase = 100
+	}
+	if o.RandomSeed != 0 && o.RandomFreq == 0 {
+		o.RandomFreq = 0.02
+	}
+	return o
+}
+
+// Stats counts solver work since construction.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learnt       int64
+	Deleted      int64
+}
+
+type clause struct {
+	lits   []lit
+	act    float64
+	lbd    int
+	learnt bool
+}
+
+type watcher struct {
+	cl      *clause
+	blocker lit
+}
+
+// Solver is a CDCL SAT solver. It is not safe for concurrent use; run
+// one Solver per goroutine.
+type Solver struct {
+	opts Options
+
+	numVars   int
+	clauses   []*clause
+	learnts   []*clause
+	watches   [][]watcher // indexed by lit: clauses to inspect when lit becomes true
+	assigns   []lbool     // by variable
+	level     []int
+	reason    []*clause
+	polarity  []bool // phase saving: last assigned value
+	activity  []float64
+	varInc    float64
+	clauseInc float64
+	order     *varHeap
+	rng       *rand.Rand
+
+	trail    []lit
+	trailLim []int
+	qhead    int
+
+	seen    []bool
+	unsat   bool // established at level 0
+	model   []bool
+	core    []cnf.Lit
+	assumps []lit
+
+	maxLearnts float64
+
+	// Budget propagator state (see SetBudget).
+	budgetWeight []int64 // by lit; 0 when not budgeted
+	budgetLits   []lit   // budgeted literals, sorted by descending weight
+	budgetBound  int64
+	budgetSum    int64 // weight of currently-true budgeted literals
+	hasBudget    bool
+
+	stats Stats
+}
+
+// New returns a solver over variables 1..numVars (DIMACS numbering).
+func New(numVars int, opts Options) *Solver {
+	s := &Solver{
+		opts:      opts.withDefaults(),
+		varInc:    1,
+		clauseInc: 1,
+	}
+	s.order = newVarHeap(&s.activity)
+	if s.opts.RandomSeed != 0 {
+		s.rng = rand.New(rand.NewSource(s.opts.RandomSeed))
+	}
+	s.growTo(numVars)
+	return s
+}
+
+// NumVars returns the current number of variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// AddVars grows the variable range by n and returns the new NumVars.
+func (s *Solver) AddVars(n int) int {
+	s.growTo(s.numVars + n)
+	return s.numVars
+}
+
+func (s *Solver) growTo(numVars int) {
+	for s.numVars < numVars {
+		s.assigns = append(s.assigns, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.polarity = append(s.polarity, s.opts.InitialPhase)
+		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, false)
+		s.watches = append(s.watches, nil, nil)
+		s.budgetWeight = append(s.budgetWeight, 0, 0)
+		s.numVars++
+	}
+	s.order.grow(s.numVars)
+	for v := 0; v < s.numVars; v++ {
+		if s.assigns[v] == lUndef {
+			s.order.insert(v)
+		}
+	}
+}
+
+// Stats returns a copy of the work counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+func (s *Solver) value(l lit) lbool {
+	v := s.assigns[l.variable()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.sign() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over DIMACS literals. It must be called at
+// decision level 0 (i.e. before Solve or between Solve calls). Variables
+// beyond NumVars are allocated automatically. It returns false when the
+// clause makes the instance trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	if s.unsat {
+		return false
+	}
+	maxVar := 0
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: literal 0 in clause")
+		}
+		if v := l.Var(); v > maxVar {
+			maxVar = v
+		}
+	}
+	if maxVar > s.numVars {
+		s.growTo(maxVar)
+	}
+
+	// Normalise: sort-free dedup and tautology/falsified-literal
+	// elimination at level 0.
+	out := make([]lit, 0, len(lits))
+	for _, dl := range lits {
+		l := fromDimacs(dl)
+		switch s.value(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lFalse:
+			continue
+		}
+		duplicate := false
+		for _, existing := range out {
+			if existing == l {
+				duplicate = true
+				break
+			}
+			if existing == l.neg() {
+				return true // tautology
+			}
+		}
+		if !duplicate {
+			out = append(out, l)
+		}
+	}
+
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagateAll() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	cl := &clause{lits: out}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	return true
+}
+
+// AddFormula adds every clause of a CNF formula.
+func (s *Solver) AddFormula(f *cnf.Formula) bool {
+	if f.NumVars > s.numVars {
+		s.growTo(f.NumVars)
+	}
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetBudget installs (or replaces) the linear pseudo-Boolean constraint
+// Σ weights[i]·[lits[i] true] ≤ bound. Weights must be positive. The
+// constraint participates in propagation and conflict analysis like an
+// ordinary clause set, but is enforced natively, so bounds involving
+// large weights cost nothing to encode. Call at decision level 0.
+func (s *Solver) SetBudget(lits []cnf.Lit, weights []int64, bound int64) error {
+	if len(lits) != len(weights) {
+		return fmt.Errorf("sat: budget lits/weights length mismatch %d != %d", len(lits), len(weights))
+	}
+	maxVar := 0
+	for _, l := range lits {
+		if v := l.Var(); v > maxVar {
+			maxVar = v
+		}
+	}
+	if maxVar > s.numVars {
+		s.growTo(maxVar)
+	}
+	for i := range s.budgetWeight {
+		s.budgetWeight[i] = 0
+	}
+	s.budgetLits = s.budgetLits[:0]
+	for i, dl := range lits {
+		if weights[i] <= 0 {
+			return fmt.Errorf("sat: budget weight %d must be positive", weights[i])
+		}
+		l := fromDimacs(dl)
+		if s.budgetWeight[l] != 0 {
+			return fmt.Errorf("sat: duplicate budget literal %v", dl)
+		}
+		s.budgetWeight[l] = weights[i]
+		s.budgetLits = append(s.budgetLits, l)
+	}
+	// Descending weight order lets conflict explanations pick heavy
+	// literals first, yielding shorter reasons.
+	sortLitsByWeightDesc(s.budgetLits, s.budgetWeight)
+	s.budgetBound = bound
+	s.hasBudget = true
+	s.recomputeBudgetSum()
+	return nil
+}
+
+// SetBudgetBound tightens (or relaxes) the budget bound. Lowering the
+// bound keeps all learnt clauses sound, which is how LinearSU iterates;
+// raising it is rejected because earlier budget-derived clauses could be
+// too strong.
+func (s *Solver) SetBudgetBound(bound int64) error {
+	if !s.hasBudget {
+		return errors.New("sat: no budget installed")
+	}
+	if bound > s.budgetBound {
+		return fmt.Errorf("sat: cannot raise budget bound from %d to %d", s.budgetBound, bound)
+	}
+	s.budgetBound = bound
+	return nil
+}
+
+func (s *Solver) recomputeBudgetSum() {
+	s.budgetSum = 0
+	for _, l := range s.budgetLits {
+		if s.value(l) == lTrue {
+			s.budgetSum += s.budgetWeight[l]
+		}
+	}
+}
+
+func sortLitsByWeightDesc(lits []lit, weight []int64) {
+	// Insertion sort: budget lists are installed once and moderately
+	// sized; avoids pulling in sort for a hot path type.
+	for i := 1; i < len(lits); i++ {
+		l := lits[i]
+		j := i - 1
+		for j >= 0 && weight[lits[j]] < weight[l] {
+			lits[j+1] = lits[j]
+			j--
+		}
+		lits[j+1] = l
+	}
+}
+
+func (s *Solver) attach(cl *clause) {
+	s.watches[cl.lits[0].neg()] = append(s.watches[cl.lits[0].neg()], watcher{cl: cl, blocker: cl.lits[1]})
+	s.watches[cl.lits[1].neg()] = append(s.watches[cl.lits[1].neg()], watcher{cl: cl, blocker: cl.lits[0]})
+}
+
+func (s *Solver) detach(cl *clause) {
+	s.removeWatcher(cl.lits[0].neg(), cl)
+	s.removeWatcher(cl.lits[1].neg(), cl)
+}
+
+func (s *Solver) removeWatcher(l lit, cl *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].cl == cl {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l lit, from *clause) {
+	v := l.variable()
+	if l.sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	if s.hasBudget {
+		if w := s.budgetWeight[l]; w != 0 {
+			s.budgetSum += w
+		}
+	}
+}
+
+// propagate performs clause propagation until fixpoint or conflict.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+
+		ws := s.watches[p]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			cl := w.cl
+			falseLit := p.neg()
+			if cl.lits[0] == falseLit {
+				cl.lits[0], cl.lits[1] = cl.lits[1], cl.lits[0]
+			}
+			first := cl.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[j] = watcher{cl: cl, blocker: first}
+				j++
+				continue
+			}
+			found := false
+			for k := 2; k < len(cl.lits); k++ {
+				if s.value(cl.lits[k]) != lFalse {
+					cl.lits[1], cl.lits[k] = cl.lits[k], cl.lits[1]
+					s.watches[cl.lits[1].neg()] = append(s.watches[cl.lits[1].neg()], watcher{cl: cl, blocker: first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // clause moved to another watch list
+			}
+			// Unit or conflicting.
+			ws[j] = watcher{cl: cl, blocker: first}
+			j++
+			if s.value(first) == lFalse {
+				// Conflict: keep remaining watchers, stop.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return cl
+			}
+			s.uncheckedEnqueue(first, cl)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+// propagateAll interleaves clause propagation with the budget
+// propagator until global fixpoint or conflict.
+func (s *Solver) propagateAll() *clause {
+	for {
+		if confl := s.propagate(); confl != nil {
+			return confl
+		}
+		if !s.hasBudget {
+			return nil
+		}
+		confl, propagated := s.propagateBudget()
+		if confl != nil {
+			return confl
+		}
+		if !propagated {
+			return nil
+		}
+	}
+}
+
+// propagateBudget enforces the pseudo-Boolean budget. It returns a
+// conflict clause when the currently-true budget literals already exceed
+// the bound, and otherwise implies the negation of any unassigned
+// literal that no longer fits. Reason/conflict clauses are materialised
+// on demand; they are logically implied by the constraint, so reusing
+// them in conflict analysis is sound.
+func (s *Solver) propagateBudget() (*clause, bool) {
+	if s.budgetSum > s.budgetBound {
+		return s.budgetConflict(), false
+	}
+	slack := s.budgetBound - s.budgetSum
+	propagated := false
+	for _, l := range s.budgetLits {
+		w := s.budgetWeight[l]
+		if w <= slack {
+			// budgetLits is sorted by descending weight: all later
+			// literals fit as well.
+			break
+		}
+		if s.value(l) == lUndef {
+			reason := s.budgetReason(l.neg(), w)
+			s.uncheckedEnqueue(l.neg(), reason)
+			propagated = true
+		}
+	}
+	return nil, propagated
+}
+
+// budgetConflict builds a clause ¬t₁ ∨ … ∨ ¬tₖ from a (greedy, heavy
+// first) subset of true budget literals whose weights already exceed the
+// bound. Every literal in it is currently false, as conflict analysis
+// expects.
+func (s *Solver) budgetConflict() *clause {
+	lits := make([]lit, 0, 8)
+	var sum int64
+	for _, l := range s.budgetLits {
+		if s.value(l) == lTrue {
+			lits = append(lits, l.neg())
+			sum += s.budgetWeight[l]
+			if sum > s.budgetBound {
+				break
+			}
+		}
+	}
+	return &clause{lits: lits}
+}
+
+// budgetReason explains the implication implied (= ¬ℓ for a budget
+// literal ℓ of weight w): a subset of true budget literals t with
+// Σweight(t) + w > bound yields the implied-first reason clause
+// implied ∨ ¬t₁ ∨ … ∨ ¬tₖ.
+func (s *Solver) budgetReason(implied lit, w int64) *clause {
+	lits := []lit{implied}
+	need := s.budgetBound - w // exceed this with true literals
+	var sum int64
+	for _, t := range s.budgetLits {
+		if s.value(t) == lTrue {
+			lits = append(lits, t.neg())
+			sum += s.budgetWeight[t]
+			if sum > need {
+				break
+			}
+		}
+	}
+	return &clause{lits: lits}
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.variable()
+		if s.hasBudget {
+			if w := s.budgetWeight[l]; w != 0 {
+				s.budgetSum -= w
+			}
+		}
+		s.polarity[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(cl *clause) {
+	cl.act += s.clauseInc
+	if cl.act > 1e20 {
+		for _, c := range s.learnts {
+			c.act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= s.opts.VarDecay
+	s.clauseInc /= s.opts.ClauseDecay
+}
+
+// analyze performs first-UIP conflict analysis and returns the learnt
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]lit, int) {
+	learnt := make([]lit, 1, 8)
+	pathC := 0
+	p := litUndef
+	idx := len(s.trail) - 1
+	toClear := make([]int, 0, 16)
+
+	for {
+		if confl.learnt {
+			s.bumpClause(confl)
+		}
+		start := 0
+		if p != litUndef {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.variable()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				toClear = append(toClear, v)
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !s.seen[s.trail[idx].variable()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.variable()]
+		s.seen[p.variable()] = false
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+	}
+	learnt[0] = p.neg()
+
+	// Shallow clause minimisation: drop literals whose reason is fully
+	// covered by the remaining learnt literals.
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].variable()
+		r := s.reason[v]
+		if r == nil || !s.litRedundant(r) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	for _, v := range toClear {
+		s.seen[v] = false
+	}
+
+	// Find the backjump level: highest level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxIdx := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].variable()] > s.level[learnt[maxIdx].variable()] {
+				maxIdx = i
+			}
+		}
+		learnt[1], learnt[maxIdx] = learnt[maxIdx], learnt[1]
+		btLevel = s.level[learnt[1].variable()]
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether every antecedent literal of the reason
+// clause is already marked seen (shallow minimisation test).
+func (s *Solver) litRedundant(r *clause) bool {
+	for _, q := range r.lits[1:] {
+		v := q.variable()
+		if !s.seen[v] && s.level[v] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) computeLBD(lits []lit) int {
+	levels := make(map[int]struct{}, len(lits))
+	for _, l := range lits {
+		levels[s.level[l.variable()]] = struct{}{}
+	}
+	return len(levels)
+}
+
+// analyzeFinal computes the subset of assumptions responsible for
+// falsifying assumption literal a (which currently evaluates false).
+func (s *Solver) analyzeFinal(a lit) []cnf.Lit {
+	out := []cnf.Lit{toDimacs(a)}
+	if s.decisionLevel() == 0 {
+		return out
+	}
+	v := a.variable()
+	s.seen[v] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		tv := s.trail[i].variable()
+		if !s.seen[tv] {
+			continue
+		}
+		if r := s.reason[tv]; r != nil {
+			for _, q := range r.lits[1:] {
+				if s.level[q.variable()] > 0 {
+					s.seen[q.variable()] = true
+				}
+			}
+		} else {
+			// A decision inside the assumption prefix: an assumption
+			// literal (true on trail, so the assumption is trail[i]).
+			out = append(out, toDimacs(s.trail[i]))
+		}
+		s.seen[tv] = false
+	}
+	s.seen[v] = false
+	return out
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnts: glue clauses (lbd<=2) and high-activity clauses are
+	// valuable; delete the worse half of the rest.
+	sortable := make([]*clause, 0, len(s.learnts))
+	kept := make([]*clause, 0, len(s.learnts))
+	for _, cl := range s.learnts {
+		if cl.lbd <= 2 || len(cl.lits) == 2 || s.locked(cl) {
+			kept = append(kept, cl)
+		} else {
+			sortable = append(sortable, cl)
+		}
+	}
+	sortClausesWorstFirst(sortable)
+	drop := len(sortable) / 2
+	for i, cl := range sortable {
+		if i < drop {
+			s.detach(cl)
+			s.stats.Deleted++
+		} else {
+			kept = append(kept, cl)
+		}
+	}
+	s.learnts = kept
+}
+
+func sortClausesWorstFirst(cls []*clause) {
+	// Worst = high LBD, then low activity.
+	lessWorse := func(a, b *clause) bool {
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd
+		}
+		return a.act < b.act
+	}
+	// Simple heapless sort; clause counts here are moderate.
+	for i := 1; i < len(cls); i++ {
+		c := cls[i]
+		j := i - 1
+		for j >= 0 && !lessWorse(cls[j], c) {
+			cls[j+1] = cls[j]
+			j--
+		}
+		cls[j+1] = c
+	}
+}
+
+func (s *Solver) locked(cl *clause) bool {
+	v := cl.lits[0].variable()
+	return s.reason[v] == cl && s.value(cl.lits[0]) == lTrue
+}
+
+func (s *Solver) pickBranchLit() lit {
+	if s.rng != nil && s.rng.Float64() < s.opts.RandomFreq && !s.order.empty() {
+		v := s.order.heap[s.rng.Intn(len(s.order.heap))]
+		if s.assigns[v] == lUndef {
+			return mkLit(v, !s.polarity[v])
+		}
+	}
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == lUndef {
+			return mkLit(v, !s.polarity[v])
+		}
+	}
+	return litUndef
+}
+
+// luby computes the Luby restart sequence value for index i (1-based):
+// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+func luby(i int64) int64 {
+	for k := uint(1); ; k++ {
+		segEnd := (int64(1) << k) - 1
+		if i == segEnd {
+			return int64(1) << (k - 1)
+		}
+		if i < segEnd {
+			// Recurse into the repeated prefix of the segment.
+			i -= (int64(1) << (k - 1)) - 1
+			k = 0
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumptions. On Sat,
+// Model reports a satisfying assignment; on Unsat with assumptions,
+// Core reports a subset of assumptions sufficient for unsatisfiability.
+// The context cancels long searches (returning ErrInterrupted).
+func (s *Solver) Solve(ctx context.Context, assumptions ...cnf.Lit) (Status, error) {
+	if s.unsat {
+		s.core = nil
+		return Unsat, nil
+	}
+	s.model = nil
+	s.core = nil
+	s.assumps = s.assumps[:0]
+	for _, a := range assumptions {
+		if v := a.Var(); v > s.numVars {
+			s.growTo(v)
+		}
+		s.assumps = append(s.assumps, fromDimacs(a))
+	}
+
+	if s.maxLearnts == 0 {
+		s.maxLearnts = float64(len(s.clauses)) / 3
+		if s.maxLearnts < 1000 {
+			s.maxLearnts = 1000
+		}
+	}
+
+	defer s.cancelUntil(0)
+
+	var restarts int64
+	for {
+		limit := luby(restarts+1) * int64(s.opts.RestartBase)
+		status, err := s.search(ctx, limit)
+		if err != nil {
+			return Unknown, err
+		}
+		if status != Unknown {
+			return status, nil
+		}
+		restarts++
+		s.stats.Restarts++
+	}
+}
+
+// search runs CDCL until a result, a restart (after conflictLimit
+// conflicts), or cancellation.
+func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error) {
+	var conflicts int64
+	for {
+		confl := s.propagateAll()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				s.core = nil
+				return Unsat, nil
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				cl := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, cl)
+				s.attach(cl)
+				s.bumpClause(cl)
+				s.uncheckedEnqueue(learnt[0], cl)
+				s.stats.Learnt++
+			}
+			s.decayActivities()
+
+			if conflicts&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return Unknown, fmt.Errorf("%w: %v", ErrInterrupted, err)
+				}
+			}
+			continue
+		}
+
+		if conflicts >= conflictLimit {
+			s.cancelUntil(0)
+			return Unknown, nil
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts {
+			s.reduceDB()
+			s.maxLearnts *= 1.1
+		}
+
+		next := litUndef
+		for s.decisionLevel() < len(s.assumps) {
+			a := s.assumps[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level; already satisfied
+			case lFalse:
+				s.core = s.analyzeFinal(a)
+				return Unsat, nil
+			default:
+				next = a
+			}
+			if next != litUndef {
+				break
+			}
+		}
+		if next == litUndef {
+			next = s.pickBranchLit()
+			if next == litUndef {
+				s.storeModel()
+				return Sat, nil
+			}
+			s.stats.Decisions++
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+func (s *Solver) storeModel() {
+	s.model = make([]bool, s.numVars+1)
+	for v := 0; v < s.numVars; v++ {
+		s.model[v+1] = s.assigns[v] == lTrue
+	}
+}
+
+// Model returns the satisfying assignment from the last Sat result,
+// indexed by DIMACS variable (index 0 unused). Unassigned variables (in
+// case of early termination) read false.
+func (s *Solver) Model() []bool { return s.model }
+
+// Core returns the subset of the last Solve call's assumptions that was
+// shown jointly unsatisfiable with the clause set. It is nil when the
+// instance is unsatisfiable without assumptions.
+func (s *Solver) Core() []cnf.Lit { return s.core }

@@ -1,0 +1,249 @@
+// Package sim provides Monte-Carlo estimation for fault trees: an
+// independent, sampling-based check of the analytical machinery (BDD
+// probabilities, bottom-up evaluation, MPMCS dominance). Estimates
+// converge as O(1/√trials); the package reports standard errors so
+// tests and experiments can assert statistical agreement.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpmcs4fta/internal/ft"
+)
+
+// Compiled is a fault tree flattened for fast repeated evaluation: the
+// gates are topologically ordered and evaluated over dense slices, with
+// no maps or revalidation per trial.
+type Compiled struct {
+	eventIDs   []string
+	eventProbs []float64
+	eventIndex map[string]int
+
+	// gates in dependency order; inputs reference either events
+	// (index < len(eventIDs)) or earlier gates (len(eventIDs)+j).
+	gates    []compiledGate
+	topSlot  int
+	numSlots int
+}
+
+type compiledGate struct {
+	typ    ft.GateType
+	k      int
+	inputs []int
+	slot   int
+}
+
+// Compile flattens a valid tree.
+func Compile(t *ft.Tree) (*Compiled, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	events := t.Events()
+	c := &Compiled{
+		eventIDs:   make([]string, len(events)),
+		eventProbs: make([]float64, len(events)),
+		eventIndex: make(map[string]int, len(events)),
+	}
+	for i, e := range events {
+		c.eventIDs[i] = e.ID
+		c.eventProbs[i] = e.Prob
+		c.eventIndex[e.ID] = i
+	}
+
+	slotOf := make(map[string]int, len(events)+t.NumGates())
+	for id, i := range c.eventIndex {
+		slotOf[id] = i
+	}
+	next := len(events)
+	var build func(id string) (int, error)
+	build = func(id string) (int, error) {
+		if slot, ok := slotOf[id]; ok {
+			return slot, nil
+		}
+		g := t.Gate(id)
+		if g == nil {
+			return 0, fmt.Errorf("sim: unknown node %q", id)
+		}
+		inputs := make([]int, len(g.Inputs))
+		for i, in := range g.Inputs {
+			slot, err := build(in)
+			if err != nil {
+				return 0, err
+			}
+			inputs[i] = slot
+		}
+		slot := next
+		next++
+		slotOf[id] = slot
+		c.gates = append(c.gates, compiledGate{typ: g.Type, k: g.K, inputs: inputs, slot: slot})
+		return slot, nil
+	}
+	top, err := build(t.Top())
+	if err != nil {
+		return nil, err
+	}
+	c.topSlot = top
+	c.numSlots = next
+	return c, nil
+}
+
+// NumEvents returns the number of basic events.
+func (c *Compiled) NumEvents() int { return len(c.eventIDs) }
+
+// EventIndex returns the dense index of an event id, or -1.
+func (c *Compiled) EventIndex(id string) int {
+	if i, ok := c.eventIndex[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Eval computes the top event value; failed[i] corresponds to
+// eventIDs[i]. scratch must have length ≥ NumSlots (reused across
+// calls); pass nil to allocate.
+func (c *Compiled) Eval(failed []bool, scratch []bool) bool {
+	if scratch == nil {
+		scratch = make([]bool, c.numSlots)
+	}
+	copy(scratch, failed)
+	for _, g := range c.gates {
+		var v bool
+		switch g.typ {
+		case ft.GateAnd:
+			v = true
+			for _, in := range g.inputs {
+				if !scratch[in] {
+					v = false
+					break
+				}
+			}
+		case ft.GateOr:
+			for _, in := range g.inputs {
+				if scratch[in] {
+					v = true
+					break
+				}
+			}
+		case ft.GateVoting:
+			count := 0
+			for _, in := range g.inputs {
+				if scratch[in] {
+					count++
+					if count >= g.k {
+						break
+					}
+				}
+			}
+			v = count >= g.k
+		}
+		scratch[g.slot] = v
+	}
+	return scratch[c.topSlot]
+}
+
+// NumSlots returns the scratch size required by Eval.
+func (c *Compiled) NumSlots() int { return c.numSlots }
+
+// Estimate is a Monte-Carlo estimate with its sampling error.
+type Estimate struct {
+	// Probability is the sample mean.
+	Probability float64
+	// StdErr is the standard error of the mean; a 95% confidence
+	// interval is roughly Probability ± 1.96·StdErr.
+	StdErr float64
+	// Trials is the sample count.
+	Trials int
+}
+
+// Agrees reports whether an exact value lies within z standard errors
+// of the estimate (z = 3 gives a ≈99.7% test).
+func (e Estimate) Agrees(exact, z float64) bool {
+	return math.Abs(e.Probability-exact) <= z*e.StdErr+1e-12
+}
+
+// TopEvent estimates P(top) by direct sampling: each trial fails every
+// event independently with its probability and evaluates the tree.
+func TopEvent(t *ft.Tree, trials int, seed int64) (Estimate, error) {
+	c, err := Compile(t)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if trials < 1 {
+		return Estimate{}, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	failed := make([]bool, c.NumEvents())
+	scratch := make([]bool, c.NumSlots())
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		for i, p := range c.eventProbs {
+			failed[i] = rng.Float64() < p
+		}
+		if c.Eval(failed, scratch) {
+			hits++
+		}
+	}
+	return bernoulliEstimate(hits, trials), nil
+}
+
+// Dominance estimates, in one sampling pass, P(top) and the dominance
+// of a cut set: the fraction of top-event occurrences in which every
+// member of the set had failed. For the MPMCS this measures how much of
+// the system's total risk the single most likely cut set explains.
+func Dominance(t *ft.Tree, set []string, trials int, seed int64) (top, dominance Estimate, err error) {
+	c, cerr := Compile(t)
+	if cerr != nil {
+		return Estimate{}, Estimate{}, cerr
+	}
+	if trials < 1 {
+		return Estimate{}, Estimate{}, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	indices := make([]int, len(set))
+	for i, id := range set {
+		idx := c.EventIndex(id)
+		if idx < 0 {
+			return Estimate{}, Estimate{}, fmt.Errorf("sim: %q is not a basic event", id)
+		}
+		indices[i] = idx
+	}
+	rng := rand.New(rand.NewSource(seed))
+	failed := make([]bool, c.NumEvents())
+	scratch := make([]bool, c.NumSlots())
+	topHits, setHits := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		for i, p := range c.eventProbs {
+			failed[i] = rng.Float64() < p
+		}
+		if !c.Eval(failed, scratch) {
+			continue
+		}
+		topHits++
+		all := true
+		for _, idx := range indices {
+			if !failed[idx] {
+				all = false
+				break
+			}
+		}
+		if all {
+			setHits++
+		}
+	}
+	top = bernoulliEstimate(topHits, trials)
+	if topHits == 0 {
+		return top, Estimate{Trials: 0}, nil
+	}
+	dominance = bernoulliEstimate(setHits, topHits)
+	return top, dominance, nil
+}
+
+func bernoulliEstimate(hits, trials int) Estimate {
+	p := float64(hits) / float64(trials)
+	return Estimate{
+		Probability: p,
+		StdErr:      math.Sqrt(p * (1 - p) / float64(trials)),
+		Trials:      trials,
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+	"mpmcs4fta/internal/quant"
+)
+
+func TestCompileEvalMatchesTreeEval(t *testing.T) {
+	trees := []*ft.Tree{gen.FPS(), gen.PressureTank(), gen.RedundantSCADA()}
+	for _, tree := range trees {
+		c, err := Compile(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		events := tree.Events()
+		failed := make([]bool, len(events))
+		scratch := make([]bool, c.NumSlots())
+		// Exhaustive agreement with the reference evaluator.
+		for mask := 0; mask < 1<<len(events); mask++ {
+			failedMap := make(map[string]bool, len(events))
+			for i, e := range events {
+				failed[c.EventIndex(e.ID)] = mask&(1<<i) != 0
+				failedMap[e.ID] = mask&(1<<i) != 0
+			}
+			want, err := tree.Eval(failedMap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Eval(failed, scratch); got != want {
+				t.Fatalf("%s: compiled eval differs at mask %b", tree.Name(), mask)
+			}
+		}
+	}
+}
+
+func TestCompileInvalid(t *testing.T) {
+	if _, err := Compile(ft.New("bad")); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}
+
+func TestEventIndex(t *testing.T) {
+	c, err := Compile(gen.FPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEvents() != 7 {
+		t.Errorf("NumEvents = %d", c.NumEvents())
+	}
+	if c.EventIndex("x1") < 0 || c.EventIndex("ghost") != -1 {
+		t.Error("EventIndex misbehaves")
+	}
+}
+
+func TestTopEventAgainstExact(t *testing.T) {
+	const trials = 200000
+	for _, tree := range []*ft.Tree{gen.FPS(), gen.RedundantSCADA()} {
+		exact, err := quant.TopEventProbability(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := TopEvent(tree, trials, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Trials != trials {
+			t.Errorf("trials = %d", est.Trials)
+		}
+		if !est.Agrees(exact, 4) {
+			t.Errorf("%s: estimate %v ± %v vs exact %v", tree.Name(), est.Probability, est.StdErr, exact)
+		}
+	}
+}
+
+func TestTopEventAgainstExactRandomTrees(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tree, err := gen.Random(gen.Config{
+			Events: 12, Seed: seed, VotingFrac: 0.3,
+			MinProb: 0.05, MaxProb: 0.5, // keep P(top) estimable
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := quant.TopEventProbability(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := TopEvent(tree, 100000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !est.Agrees(exact, 4) {
+			t.Errorf("seed %d: estimate %v ± %v vs exact %v", seed, est.Probability, est.StdErr, exact)
+		}
+	}
+}
+
+func TestTopEventDeterministic(t *testing.T) {
+	a, err := TopEvent(gen.FPS(), 10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TopEvent(gen.FPS(), 10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Probability != b.Probability {
+		t.Error("same seed produced different estimates")
+	}
+}
+
+func TestTopEventErrors(t *testing.T) {
+	if _, err := TopEvent(gen.FPS(), 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := TopEvent(ft.New("bad"), 10, 1); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}
+
+func TestDominanceFPS(t *testing.T) {
+	// The MPMCS {x1,x2} has probability 0.02 of ~0.0427 total: its
+	// dominance (given failure, both sensors failed) is substantial.
+	top, dom, err := Dominance(gen.FPS(), []string{"x1", "x2"}, 300000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := quant.TopEventProbability(gen.FPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !top.Agrees(exact, 4) {
+		t.Errorf("top estimate %v ± %v vs exact %v", top.Probability, top.StdErr, exact)
+	}
+	// Exact dominance = P(x1∧x2 ∧ top)/P(top) = P(x1∧x2)/P(top) since
+	// {x1,x2} is a cut set.
+	wantDominance := 0.02 / exact
+	if !dom.Agrees(wantDominance, 4) {
+		t.Errorf("dominance %v ± %v vs exact %v", dom.Probability, dom.StdErr, wantDominance)
+	}
+	if dom.Probability < 0.3 {
+		t.Errorf("MPMCS dominance %v unexpectedly low", dom.Probability)
+	}
+}
+
+func TestDominanceErrors(t *testing.T) {
+	if _, _, err := Dominance(gen.FPS(), []string{"ghost"}, 10, 1); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if _, _, err := Dominance(gen.FPS(), []string{"x1"}, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestDominanceNoTopHits(t *testing.T) {
+	// A tree that essentially never fails: dominance has no samples.
+	tree := ft.New("never")
+	if err := tree.AddEvent("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddEvent("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("top", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	top, dom, err := Dominance(tree, []string{"a"}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Probability != 0 || dom.Trials != 0 {
+		t.Errorf("top %v dominance %+v", top.Probability, dom)
+	}
+}
+
+func TestEstimateAgrees(t *testing.T) {
+	e := Estimate{Probability: 0.5, StdErr: 0.01, Trials: 100}
+	if !e.Agrees(0.52, 3) {
+		t.Error("0.52 is within 3 stderr of 0.5±0.01")
+	}
+	if e.Agrees(0.6, 3) {
+		t.Error("0.6 is not within 3 stderr")
+	}
+	if math.IsNaN(e.StdErr) {
+		t.Error("stderr NaN")
+	}
+}

@@ -1,0 +1,266 @@
+package mpmcs4fta
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/portfolio"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	tree := NewTree("demo")
+	if err := tree.AddEvent("pump", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddEvent("valve", 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("top", "pump", "valve"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+
+	sol, err := Analyze(context.Background(), tree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sol.CutSetIDs(), []string{"pump", "valve"}) {
+		t.Errorf("MPMCS = %v", sol.CutSetIDs())
+	}
+	if math.Abs(sol.Probability-0.0002) > 1e-12 {
+		t.Errorf("probability = %v, want 0.0002", sol.Probability)
+	}
+}
+
+func TestFacadeFPSEndToEnd(t *testing.T) {
+	tree := ExampleFPS()
+	sol, err := Analyze(context.Background(), tree, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sol.CutSetIDs(), []string{"x1", "x2"}) || math.Abs(sol.Probability-0.02) > 1e-9 {
+		t.Errorf("FPS analysis: %v, %v", sol.CutSetIDs(), sol.Probability)
+	}
+
+	sets, err := MinimalCutSets(tree)
+	if err != nil || len(sets) != 5 {
+		t.Errorf("MinimalCutSets: %v, %v", sets, err)
+	}
+	n, err := CountMinimalCutSets(tree)
+	if err != nil || n != 5 {
+		t.Errorf("CountMinimalCutSets: %d, %v", n, err)
+	}
+	spofs, err := SinglePointsOfFailure(tree)
+	if err != nil || !reflect.DeepEqual(spofs, []string{"x3", "x4"}) {
+		t.Errorf("SPOFs: %v, %v", spofs, err)
+	}
+	p, err := TopEventProbability(tree)
+	if err != nil || p <= 0.02 || p >= 0.05 {
+		t.Errorf("TopEventProbability: %v, %v", p, err)
+	}
+	measures, err := ImportanceMeasures(tree)
+	if err != nil || len(measures) != 7 {
+		t.Errorf("ImportanceMeasures: %d, %v", len(measures), err)
+	}
+	bddSol, err := AnalyzeBDD(tree, Options{})
+	if err != nil || math.Abs(bddSol.Probability-sol.Probability) > 1e-12 {
+		t.Errorf("AnalyzeBDD: %v, %v", bddSol, err)
+	}
+}
+
+func TestFacadeTopK(t *testing.T) {
+	sols, err := AnalyzeTopK(context.Background(), ExampleFPS(), 3, Options{Sequential: true})
+	if err != nil || len(sols) != 3 {
+		t.Fatalf("AnalyzeTopK: %d, %v", len(sols), err)
+	}
+	if sols[0].Probability < sols[1].Probability || sols[1].Probability < sols[2].Probability {
+		t.Error("ranking not descending")
+	}
+}
+
+func TestFacadeLoadFormats(t *testing.T) {
+	tree := ExamplePressureTank()
+	var jsonBuf, textBuf bytes.Buffer
+	if err := tree.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.WriteText(&textBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := LoadTreeJSON(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := LoadTreeText(&textBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.NumEvents() != tree.NumEvents() || fromText.NumEvents() != tree.NumEvents() {
+		t.Error("round trips changed event counts")
+	}
+}
+
+func TestFacadeRandomTree(t *testing.T) {
+	tree, err := RandomTree(RandomTreeConfig{Events: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Analyze(context.Background(), tree, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.MPMCS) == 0 || sol.Probability <= 0 {
+		t.Errorf("solution %+v", sol)
+	}
+}
+
+func TestFacadeErrNoCutSet(t *testing.T) {
+	tree := NewTree("impossible")
+	if err := tree.AddEvent("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("top", "a"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	if _, err := Analyze(context.Background(), tree, Options{Sequential: true}); !errors.Is(err, ErrNoCutSet) {
+		t.Errorf("got %v, want ErrNoCutSet", err)
+	}
+}
+
+func TestFacadeBuildSteps(t *testing.T) {
+	steps, err := BuildSteps(ExampleFPS(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps.Instance == nil || len(steps.Weights) != 7 {
+		t.Error("steps incomplete")
+	}
+	var dot bytes.Buffer
+	err = ExampleFPS().WriteDot(&dot, DotOptions{Highlight: map[string]bool{"x1": true}})
+	if err != nil || !strings.Contains(dot.String(), "digraph") {
+		t.Error("DOT export failed through facade")
+	}
+}
+
+func TestFacadePathSetsModulesBottomUp(t *testing.T) {
+	tree := ExampleFPS()
+	paths, err := MinimalPathSets(tree)
+	if err != nil || len(paths) != 4 {
+		t.Errorf("MinimalPathSets: %d sets, %v", len(paths), err)
+	}
+	modules, err := Modules(tree)
+	if err != nil || len(modules) != 5 {
+		t.Errorf("Modules: %v, %v", modules, err)
+	}
+	fast, err := BottomUpProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := TopEventProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast-exact) > 1e-12 {
+		t.Errorf("BottomUpProbability %v != TopEventProbability %v", fast, exact)
+	}
+}
+
+// TestWCNFInteropRoundTrip exercises the external-solver workflow: the
+// Step-4 instance exported to DIMACS WCNF, re-read, and solved must
+// yield the same optimal cost as the in-process pipeline.
+func TestWCNFInteropRoundTrip(t *testing.T) {
+	tree := ExampleFPS()
+	steps, err := BuildSteps(tree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := steps.Instance.WriteWCNF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cnf.ReadWCNF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := portfolio.Solve(context.Background(), back, portfolio.DefaultEngines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Analyze(context.Background(), tree, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCost int64
+	scaledByID := make(map[string]int64, len(sol.Weights))
+	for _, w := range sol.Weights {
+		scaledByID[w.ID] = w.Scaled
+	}
+	for _, id := range sol.CutSetIDs() {
+		wantCost += scaledByID[id]
+	}
+	if res.Cost != wantCost {
+		t.Errorf("WCNF round-trip cost %d, pipeline cost %d", res.Cost, wantCost)
+	}
+}
+
+func TestFacadeCCFAndIntervals(t *testing.T) {
+	tree := NewTree("pumps")
+	if err := tree.AddEvent("pump-a", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddEvent("pump-b", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("top", "pump-a", "pump-b"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+
+	base, err := TopEventProbability(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCCF, err := ApplyCCF(tree, []CCFGroup{{ID: "p", Members: []string{"pump-a", "pump-b"}, Beta: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCCF, err := TopEventProbability(withCCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Common cause dominates redundancy: P(top) grows by ~an order.
+	if pCCF <= base {
+		t.Errorf("CCF should increase P(top): %v vs %v", pCCF, base)
+	}
+	// The CCF event becomes the MPMCS under a high beta.
+	sol, err := Analyze(context.Background(), withCCF, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sol.CutSetIDs(), []string{"ccf-p"}) {
+		t.Errorf("MPMCS = %v, want [ccf-p]", sol.CutSetIDs())
+	}
+
+	iv, err := IntervalProbability(tree, map[string]Interval{"pump-a": {Lo: 0.005, Hi: 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo > base || iv.Hi < base {
+		t.Errorf("interval [%v, %v] misses point %v", iv.Lo, iv.Hi, base)
+	}
+}
+
+func TestFacadeNamedTrees(t *testing.T) {
+	for _, tree := range []*Tree{ExampleFPS(), ExamplePressureTank(), ExampleRedundantSCADA()} {
+		if err := tree.Validate(); err != nil {
+			t.Errorf("%s: %v", tree.Name(), err)
+		}
+	}
+}

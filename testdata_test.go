@@ -1,0 +1,155 @@
+package mpmcs4fta
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorpusLoadsAndAnalyzes drives every tree in testdata/ through both
+// loaders and the full pipeline, cross-checking MaxSAT against the BDD
+// baseline — the corpus doubles as an integration regression suite and
+// as documentation of the interchange formats.
+func TestCorpusLoadsAndAnalyzes(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 5 {
+		t.Fatalf("corpus too small: %v", matches)
+	}
+	ctx := context.Background()
+	for _, path := range matches {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tree, err := LoadTreeJSON(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := Analyze(ctx, tree, Options{Sequential: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Probability <= 0 || sol.Probability > 1 {
+				t.Errorf("P(MPMCS) = %v", sol.Probability)
+			}
+			bddSol, err := AnalyzeBDD(tree, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sol.Probability-bddSol.Probability) > 1e-9*sol.Probability {
+				t.Errorf("MaxSAT %v vs BDD %v", sol.Probability, bddSol.Probability)
+			}
+		})
+	}
+}
+
+// TestCorpusTextJSONAgree loads each tree in both formats and checks
+// they describe the same structure.
+func TestCorpusTextJSONAgree(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("testdata", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, txtPath := range matches {
+		txtPath := txtPath
+		t.Run(filepath.Base(txtPath), func(t *testing.T) {
+			jsonPath := strings.TrimSuffix(txtPath, ".txt") + ".json"
+			tf, err := os.Open(txtPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tf.Close()
+			jf, err := os.Open(jsonPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer jf.Close()
+
+			fromText, err := LoadTreeText(tf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromJSON, err := LoadTreeJSON(jf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fromText.NumEvents() != fromJSON.NumEvents() || fromText.NumGates() != fromJSON.NumGates() {
+				t.Fatalf("formats disagree: %d/%d events, %d/%d gates",
+					fromText.NumEvents(), fromJSON.NumEvents(),
+					fromText.NumGates(), fromJSON.NumGates())
+			}
+			for _, e := range fromJSON.Events() {
+				other := fromText.Event(e.ID)
+				if other == nil || other.Prob != e.Prob {
+					t.Errorf("event %s differs between formats", e.ID)
+				}
+			}
+			pText, err := TopEventProbability(fromText)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pJSON, err := TopEventProbability(fromJSON)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(pText-pJSON) > 1e-12 {
+				t.Errorf("P(top) differs: %v vs %v", pText, pJSON)
+			}
+		})
+	}
+}
+
+// TestCorpusKnownAnswers pins the headline numbers for the named trees
+// so regressions in any layer surface immediately.
+func TestCorpusKnownAnswers(t *testing.T) {
+	tests := []struct {
+		file      string
+		mpmcs     []string
+		prob      float64
+		tolerance float64
+	}{
+		{"fps.json", []string{"x1", "x2"}, 0.02, 1e-12},
+		{"pressuretank.json", []string{"k2"}, 3e-5, 1e-12},
+		{"redundantscada.json", []string{"sw"}, 0.003, 1e-12},
+		{"railwaycrossing.json", []string{"bm", "dv"}, 0.005 * 0.05, 1e-15},
+	}
+	ctx := context.Background()
+	for _, tt := range tests {
+		t.Run(tt.file, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", tt.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tree, err := LoadTreeJSON(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := Analyze(ctx, tree, Options{Sequential: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sol.CutSetIDs()
+			if len(got) != len(tt.mpmcs) {
+				t.Fatalf("MPMCS = %v, want %v", got, tt.mpmcs)
+			}
+			for i := range got {
+				if got[i] != tt.mpmcs[i] {
+					t.Fatalf("MPMCS = %v, want %v", got, tt.mpmcs)
+				}
+			}
+			if math.Abs(sol.Probability-tt.prob) > tt.tolerance {
+				t.Errorf("probability = %v, want %v", sol.Probability, tt.prob)
+			}
+		})
+	}
+}

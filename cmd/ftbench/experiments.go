@@ -23,7 +23,7 @@ import (
 // {x1, x2} with joint probability 0.02.
 func runE1(ctx context.Context, w io.Writer, p params) error {
 	tree := gen.FPS()
-	sol, err := core.Analyze(ctx, tree, core.Options{Timeout: p.timeout})
+	sol, err := core.Analyze(ctx, tree, p.options(core.Options{Timeout: p.timeout}))
 	if err != nil {
 		return err
 	}
@@ -40,8 +40,8 @@ func runE1(ctx context.Context, w io.Writer, p params) error {
 }
 
 // runE2 reprints Table I from the Step-3 transform.
-func runE2(_ context.Context, w io.Writer, _ params) error {
-	steps, err := core.BuildSteps(gen.FPS(), core.Options{})
+func runE2(_ context.Context, w io.Writer, p params) error {
+	steps, err := core.BuildSteps(gen.FPS(), p.options(core.Options{}))
 	if err != nil {
 		return err
 	}
@@ -60,7 +60,7 @@ func runE2(_ context.Context, w io.Writer, _ params) error {
 
 // runE3 emits the Fig. 2 artefact: the tool's JSON solution document.
 func runE3(ctx context.Context, w io.Writer, p params) error {
-	sol, err := core.Analyze(ctx, gen.FPS(), core.Options{Sequential: true, Timeout: p.timeout})
+	sol, err := core.Analyze(ctx, gen.FPS(), p.options(core.Options{Sequential: true, Timeout: p.timeout}))
 	if err != nil {
 		return err
 	}
@@ -80,7 +80,7 @@ func runE4(ctx context.Context, w io.Writer, p params) error {
 			return err
 		}
 		start := time.Now()
-		sol, err := core.Analyze(ctx, tree, core.Options{Timeout: p.timeout})
+		sol, err := core.Analyze(ctx, tree, p.options(core.Options{Timeout: p.timeout}))
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(tw, "%d\t-\t-\t-\t-\t%s\terror: %v\t-\t-\n", n, fmtDur(elapsed), err)
@@ -110,7 +110,7 @@ func runE5(ctx context.Context, w io.Writer, p params) error {
 		if err != nil {
 			return err
 		}
-		steps, err := core.BuildSteps(tree, core.Options{})
+		steps, err := core.BuildSteps(tree, p.options(core.Options{}))
 		if err != nil {
 			return err
 		}
@@ -153,13 +153,13 @@ func runE6(ctx context.Context, w io.Writer, p params) error {
 			return err
 		}
 		start := time.Now()
-		viaSAT, err := core.Analyze(ctx, tree, core.Options{Timeout: p.timeout})
+		viaSAT, err := core.Analyze(ctx, tree, p.options(core.Options{Timeout: p.timeout}))
 		satTime := time.Since(start)
 		if err != nil {
 			return err
 		}
 		start = time.Now()
-		viaBDD, err := core.AnalyzeBDD(tree, core.Options{})
+		viaBDD, err := core.AnalyzeBDD(tree, p.options(core.Options{}))
 		bddTime := time.Since(start)
 		if err != nil {
 			// Random trees can blow the BDD up — that asymmetry is the
@@ -187,7 +187,7 @@ func runE7(ctx context.Context, w io.Writer, p params) error {
 		if err != nil {
 			return err
 		}
-		steps, err := core.BuildSteps(tree, core.Options{})
+		steps, err := core.BuildSteps(tree, p.options(core.Options{}))
 		if err != nil {
 			return err
 		}
@@ -251,11 +251,11 @@ func runE8(ctx context.Context, w io.Writer, p params) error {
 		if err != nil {
 			return err
 		}
-		full, err := core.BuildSteps(tree, core.Options{})
+		full, err := core.BuildSteps(tree, p.options(core.Options{}))
 		if err != nil {
 			return err
 		}
-		pg, err := core.BuildSteps(tree, core.Options{PlaistedGreenbaum: true})
+		pg, err := core.BuildSteps(tree, p.options(core.Options{PlaistedGreenbaum: true}))
 		if err != nil {
 			return err
 		}
@@ -286,7 +286,7 @@ func runE8(ctx context.Context, w io.Writer, p params) error {
 // tree.
 func runE9(ctx context.Context, w io.Writer, p params) error {
 	fmt.Fprintln(w, "FPS tree, all ranked cut sets:")
-	sols, err := core.AnalyzeTopK(ctx, gen.FPS(), 10, core.Options{Sequential: true, Timeout: p.timeout})
+	sols, err := core.AnalyzeTopK(ctx, gen.FPS(), 10, p.options(core.Options{Sequential: true, Timeout: p.timeout}))
 	if err != nil {
 		return err
 	}
@@ -308,7 +308,7 @@ func runE9(ctx context.Context, w io.Writer, p params) error {
 		return err
 	}
 	start := time.Now()
-	ranked, err := core.AnalyzeTopK(ctx, tree, 10, core.Options{Timeout: p.timeout})
+	ranked, err := core.AnalyzeTopK(ctx, tree, 10, p.options(core.Options{Timeout: p.timeout}))
 	if err != nil {
 		return err
 	}
@@ -385,7 +385,7 @@ func runE11(ctx context.Context, w io.Writer, p params) error {
 		if err != nil {
 			return err
 		}
-		sol, err := core.Analyze(ctx, tree, core.Options{Timeout: p.timeout})
+		sol, err := core.Analyze(ctx, tree, p.options(core.Options{Timeout: p.timeout}))
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@
 //
 //	ftbench -exp all
 //	ftbench -exp e4 -sizes 50,100,500,1000 -timeout 60s
+//	ftbench -exp e4 -trace spans.json -metrics - -pprof localhost:6060
 package main
 
 import (
@@ -18,12 +19,26 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"mpmcs4fta/internal/core"
+	"mpmcs4fta/internal/obs"
 )
 
 type params struct {
 	sizes   []int
 	seed    int64
 	timeout time.Duration
+	tracer  obs.Tracer
+	metrics *obs.Metrics
+}
+
+// options applies the shared observability configuration to a
+// per-experiment Options value; every experiment builds its Options
+// through this helper so -trace/-metrics cover all of them.
+func (p params) options(o core.Options) core.Options {
+	o.Tracer = p.tracer
+	o.Metrics = p.metrics
+	return o
 }
 
 type experiment struct {
@@ -55,7 +70,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("ftbench", flag.ContinueOnError)
 	var (
 		expFlag  = fs.String("exp", "all", "comma-separated experiment ids (e1..e9) or 'all'")
@@ -63,6 +78,10 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "workload seed")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "per-instance timeout")
 		listFlag = fs.Bool("list", false, "list available experiments and exit")
+		traceOut = fs.String("trace", "", "write a hierarchical span trace of every analysis as JSON")
+		metrics  = fs.String("metrics", "", "write a plain-text metrics snapshot ('-' for stderr)")
+		pprof    = fs.String("pprof", "", "serve net/http/pprof and expvar on this address while experiments run")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile covering the whole run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +94,45 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	p := params{seed: *seed, timeout: *timeout}
+	if *traceOut != "" {
+		tracer := obs.NewJSONTracer()
+		p.tracer = tracer
+		defer func() {
+			if werr := writeFile(*traceOut, tracer.WriteJSON); err == nil {
+				err = werr
+			}
+		}()
+	}
+	if *metrics != "" {
+		p.metrics = obs.NewMetrics()
+		target := *metrics
+		defer func() {
+			var werr error
+			if target == "-" {
+				werr = p.metrics.WriteText(os.Stderr)
+			} else {
+				werr = writeFile(target, p.metrics.WriteText)
+			}
+			if err == nil {
+				err = werr
+			}
+		}()
+	}
+	if *pprof != "" {
+		bound, stop, perr := obs.StartPprofServer(*pprof)
+		if perr != nil {
+			return perr
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "ftbench: pprof listening on http://%s/debug/pprof/\n", bound)
+	}
+	if *cpuProf != "" {
+		stop, perr := obs.StartCPUProfile(*cpuProf)
+		if perr != nil {
+			return perr
+		}
+		defer stop()
+	}
 	for _, tok := range strings.Split(*sizes, ",") {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
@@ -115,4 +173,17 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("no experiment matched %q", *expFlag)
 	}
 	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

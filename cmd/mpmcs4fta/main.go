@@ -10,6 +10,10 @@
 //	mpmcs4fta -input tree.json [-format json|text] [-topk N] [-disjoint]
 //	          [-engine portfolio|bdd] [-sequential] [-timeout 30s] [-pg]
 //	          [-output out.json] [-dot out.dot] [-wcnf out.wcnf] [-report]
+//	          [-trace spans.json] [-metrics metrics.txt] [-pprof addr]
+//	          [-cpuprofile cpu.prof]
+//
+// The input file may also be given as a positional argument.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"strings"
 
 	"mpmcs4fta"
+	"mpmcs4fta/internal/obs"
 )
 
 func main() {
@@ -31,7 +36,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("mpmcs4fta", flag.ContinueOnError)
 	var (
 		input      = fs.String("input", "", "fault tree file (required)")
@@ -46,9 +51,16 @@ func run(args []string, stdout io.Writer) error {
 		wcnfFile   = fs.String("wcnf", "", "also export the Step-4 MaxSAT instance in DIMACS WCNF format")
 		report     = fs.Bool("report", false, "emit a full FTA report (P(top), SPOFs, cut-set count, importance measures) around the solution")
 		disjoint   = fs.Bool("disjoint", false, "with -topk: enumerate event-disjoint cut sets (independent failure modes)")
+		traceFile  = fs.String("trace", "", "write a hierarchical span trace of the analysis as JSON")
+		metricsOut = fs.String("metrics", "", "write a plain-text metrics snapshot ('-' for stderr)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the analysis")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *input == "" && fs.NArg() == 1 {
+		*input = fs.Arg(0)
 	}
 	if *input == "" {
 		fs.Usage()
@@ -67,6 +79,42 @@ func run(args []string, stdout io.Writer) error {
 		Sequential:        *sequential,
 		PlaistedGreenbaum: *pg,
 		Timeout:           *timeout,
+	}
+
+	var tracer *mpmcs4fta.JSONTracer
+	if *traceFile != "" {
+		tracer = mpmcs4fta.NewJSONTracer()
+		opts.Tracer = tracer
+		defer func() {
+			if werr := writeTrace(*traceFile, tracer); err == nil {
+				err = werr
+			}
+		}()
+	}
+	var metrics *mpmcs4fta.Metrics
+	if *metricsOut != "" {
+		metrics = mpmcs4fta.NewMetrics()
+		opts.Metrics = metrics
+		defer func() {
+			if werr := writeMetrics(*metricsOut, metrics); err == nil {
+				err = werr
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		bound, stop, perr := obs.StartPprofServer(*pprofAddr)
+		if perr != nil {
+			return perr
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "mpmcs4fta: pprof listening on http://%s/debug/pprof/\n", bound)
+	}
+	if *cpuProfile != "" {
+		stop, perr := obs.StartCPUProfile(*cpuProfile)
+		if perr != nil {
+			return perr
+		}
+		defer stop()
 	}
 
 	if *wcnfFile != "" {
@@ -194,6 +242,37 @@ func buildReport(tree *mpmcs4fta.Tree, solutions []*mpmcs4fta.Solution) (*ftaRep
 		Importance:          measures,
 		Modules:             modules,
 	}, nil
+}
+
+// writeTrace flushes the recorded span tree to path after the analysis
+// (including on error, so aborted runs still leave a partial trace).
+func writeTrace(path string, tracer *mpmcs4fta.JSONTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the counter registry as sorted "name value" lines;
+// "-" writes to stderr so it composes with -output on stdout.
+func writeMetrics(path string, m *mpmcs4fta.Metrics) error {
+	if path == "-" {
+		return m.WriteText(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteText(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	return f.Close()
 }
 
 func loadTree(path, format string) (*mpmcs4fta.Tree, error) {

@@ -206,6 +206,85 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunTraceAndMetrics(t *testing.T) {
+	input := writeTemp(t, "fps.txt", fpsText)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+
+	var out bytes.Buffer
+	// Positional input (no -input flag) is part of the contract here.
+	err := run([]string{"-trace", tracePath, "-metrics", metricsPath, input}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The solution document must carry the winner's solver counters.
+	var sol struct {
+		Stats struct {
+			Solver struct {
+				Bounds []json.RawMessage `json:"bounds"`
+			} `json:"solver"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sol); err != nil {
+		t.Fatalf("bad solution JSON: %v", err)
+	}
+	if len(sol.Stats.Solver.Bounds) == 0 {
+		t.Errorf("solution stats.solver missing bound trajectory:\n%s", out.String())
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Spans []json.RawMessage `json:"spans"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.Spans) == 0 {
+		t.Fatal("trace has no root spans")
+	}
+	for _, want := range []string{
+		`"validate"`, `"formula"`, `"weights"`, `"encode"`, `"solve"`, `"decode"`,
+		`"engine:wmsu1"`, `"engine:linear-su"`, `"engine:branch-bound"`,
+		`"satCalls"`, `"decisions"`,
+	} {
+		if !strings.Contains(string(trace), want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "analyses 1") {
+		t.Errorf("metrics snapshot missing analyses counter:\n%s", metrics)
+	}
+	if !strings.Contains(string(metrics), "winner.") {
+		t.Errorf("metrics snapshot missing winner counter:\n%s", metrics)
+	}
+}
+
+func TestRunCPUProfile(t *testing.T) {
+	input := writeTemp(t, "fps.txt", fpsText)
+	profPath := filepath.Join(t.TempDir(), "cpu.prof")
+	var out bytes.Buffer
+	if err := run([]string{"-cpuprofile", profPath, "-sequential", input}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("CPU profile is empty")
+	}
+}
+
 func TestRunFormatOverride(t *testing.T) {
 	// A .dat file containing the text format needs -format text... which
 	// is the default for non-.json, so test JSON via override instead.

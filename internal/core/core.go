@@ -25,6 +25,7 @@ import (
 	"mpmcs4fta/internal/cnf"
 	"mpmcs4fta/internal/ft"
 	"mpmcs4fta/internal/maxsat"
+	"mpmcs4fta/internal/obs"
 	"mpmcs4fta/internal/portfolio"
 )
 
@@ -59,6 +60,12 @@ type Options struct {
 	PlaistedGreenbaum bool
 	// Timeout bounds the whole analysis (0 = none).
 	Timeout time.Duration
+	// Tracer records hierarchical spans for the six pipeline steps and
+	// the per-engine portfolio race. Nil disables tracing at zero cost.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, accumulates process-level counters
+	// (analyses, winner tallies, solver work) across calls.
+	Metrics *obs.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +76,14 @@ func (o Options) withDefaults() Options {
 		o.Scale = DefaultScale
 	}
 	return o
+}
+
+// tracer returns the configured tracer or the zero-cost no-op one.
+func (o Options) tracer() obs.Tracer {
+	if o.Tracer == nil {
+		return obs.Nop()
+	}
+	return o.Tracer
 }
 
 // EventWeight is one row of the paper's Table I: an event probability
@@ -104,17 +119,42 @@ type Steps struct {
 // BuildSteps runs Steps 1–4 of the pipeline.
 func BuildSteps(tree *ft.Tree, opts Options) (*Steps, error) {
 	opts = opts.withDefaults()
-	f, err := tree.Formula()
+	return buildSteps(tree, opts, opts.tracer())
+}
+
+// buildSteps runs Steps 1–4, recording one span per pipeline step
+// under parent (the tracer itself, or an analysis root span).
+func buildSteps(tree *ft.Tree, opts Options, parent obs.SpanStarter) (*Steps, error) {
+	sp := parent.StartSpan("validate")
+	err := tree.Validate()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+
+	sp = parent.StartSpan("formula")
+	f, err := tree.Formula()
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	success := boolexpr.Dual(f)
+	sp.End()
 
 	events := tree.Events()
 	order := make([]string, len(events))
 	for i, e := range events {
 		order[i] = e.ID
 	}
+
+	sp = parent.StartSpan("weights")
+	weights := LogWeights(events, opts.Scale)
+	if sp.Recording() {
+		sp.SetInt("events", int64(len(weights)))
+	}
+	sp.End()
+
+	sp = parent.StartSpan("encode")
 	// ¬Y(t) over the y variables models the occurrence of the top event
 	// (Step 1); Tseitin converts it to CNF (Step 2).
 	enc, err := cnf.Tseitin(boolexpr.Not{X: success}, cnf.TseitinOptions{
@@ -122,10 +162,9 @@ func BuildSteps(tree *ft.Tree, opts Options) (*Steps, error) {
 		VarOrder:          order,
 	})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: encode success tree: %w", err)
 	}
-
-	weights := LogWeights(events, opts.Scale)
 
 	instance := &cnf.WCNF{NumVars: enc.Formula.NumVars}
 	for _, clause := range enc.Formula.Clauses {
@@ -144,6 +183,13 @@ func BuildSteps(tree *ft.Tree, opts Options) (*Steps, error) {
 		// Scaled == 0 (p = 1): the event fails freely at no cost; no
 		// clause is needed.
 	}
+	if sp.Recording() {
+		sp.SetInt("vars", int64(instance.NumVars))
+		sp.SetInt("hardClauses", int64(len(instance.Hard)))
+		sp.SetInt("softClauses", int64(len(instance.Soft)))
+	}
+	sp.End()
+
 	return &Steps{
 		FaultFormula:   f,
 		SuccessFormula: success,
@@ -195,6 +241,10 @@ type SolutionStats struct {
 	Vars        int `json:"vars"`
 	HardClauses int `json:"hardClauses"`
 	SoftClauses int `json:"softClauses"`
+	// Solver reports the winning engine's work counters and cost-bound
+	// trajectory (zero-valued for the BDD baseline, which has no SAT
+	// oracle).
+	Solver obs.SolverStats `json:"solver"`
 }
 
 // Solution is the analysis result — the content of the JSON document
@@ -232,22 +282,28 @@ func Analyze(ctx context.Context, tree *ft.Tree, opts Options) (*Solution, error
 		defer cancel()
 	}
 	start := time.Now()
-	steps, err := BuildSteps(tree, opts)
+	root := opts.tracer().StartSpan("analyze")
+	defer root.End()
+	if root.Recording() {
+		root.SetString("tree", tree.Name())
+	}
+	steps, err := buildSteps(tree, opts, root)
 	if err != nil {
 		return nil, err
 	}
-	res, report, err := solveInstance(ctx, steps.Instance, opts)
+	res, report, err := solveSpanned(ctx, steps.Instance, opts, root)
 	if err != nil {
 		return nil, err
 	}
 	if res.Status == maxsat.Infeasible {
 		return nil, ErrNoCutSet
 	}
-	solution, err := buildSolution(tree, steps, res.Model, report.Winner)
+	solution, err := decodeSolution(tree, steps, res.Model, report, root)
 	if err != nil {
 		return nil, err
 	}
 	solution.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	recordAnalysisMetrics(opts.Metrics, solution, report)
 	return solution, nil
 }
 
@@ -258,10 +314,62 @@ func solveInstance(ctx context.Context, inst *cnf.WCNF, opts Options) (maxsat.Re
 	return portfolio.Solve(ctx, inst, opts.Engines)
 }
 
+// solveSpanned wraps Step 5 in a "solve" span; the span rides the
+// context into the portfolio, which records one child span per engine.
+func solveSpanned(ctx context.Context, inst *cnf.WCNF, opts Options, parent obs.SpanStarter) (maxsat.Result, portfolio.Report, error) {
+	sp := parent.StartSpan("solve")
+	defer sp.End()
+	if sp.Recording() {
+		ctx = obs.ContextWithSpan(ctx, sp)
+		sp.SetBool("sequential", opts.Sequential)
+	}
+	res, report, err := solveInstance(ctx, inst, opts)
+	if sp.Recording() {
+		sp.SetString("winner", report.Winner)
+		sp.SetFloat("elapsedMillis", float64(report.Elapsed.Microseconds())/1000)
+	}
+	return res, report, err
+}
+
+// decodeSolution wraps Step 6 in a "decode" span.
+func decodeSolution(tree *ft.Tree, steps *Steps, model []bool, report portfolio.Report, parent obs.SpanStarter) (*Solution, error) {
+	sp := parent.StartSpan("decode")
+	defer sp.End()
+	solution, err := buildSolution(tree, steps, model, report)
+	if err == nil && sp.Recording() {
+		sp.SetInt("cutSetSize", int64(len(solution.MPMCS)))
+		sp.SetFloat("probability", solution.Probability)
+	}
+	return solution, err
+}
+
+// recordAnalysisMetrics folds one completed analysis into the
+// process-level counters. Safe on a nil registry.
+func recordAnalysisMetrics(m *obs.Metrics, sol *Solution, report portfolio.Report) {
+	if m == nil {
+		return
+	}
+	m.Add("analyses", 1)
+	m.Add("solve_us_total", report.Elapsed.Microseconds())
+	if report.Winner != "" {
+		m.Add("winner."+report.Winner, 1)
+	}
+	s := sol.Stats.Solver
+	m.Add("sat_calls", s.SATCalls)
+	m.Add("conflicts", s.Conflicts)
+	m.Add("decisions", s.Decisions)
+	m.Add("propagations", s.Propagations)
+}
+
 // buildSolution extracts the cut set from a MaxSAT model (falsified y
 // variables = failed events), minimises it defensively, and performs
 // the Step-6 reverse transformation.
-func buildSolution(tree *ft.Tree, steps *Steps, model []bool, winner string) (*Solution, error) {
+func buildSolution(tree *ft.Tree, steps *Steps, model []bool, report portfolio.Report) (*Solution, error) {
+	winner := report.Winner
+	var solverStats obs.SolverStats
+	if win := report.WinnerReport(); win != nil {
+		solverStats = win.Stats
+	}
 	failed := make(map[string]bool, len(steps.Weights))
 	for _, w := range steps.Weights {
 		y := steps.Encoding.VarOf[w.ID]
@@ -314,6 +422,7 @@ func buildSolution(tree *ft.Tree, steps *Steps, model []bool, winner string) (*S
 			Vars:        steps.Instance.NumVars,
 			HardClauses: len(steps.Instance.Hard),
 			SoftClauses: len(steps.Instance.Soft),
+			Solver:      solverStats,
 		},
 		Weights: steps.Weights,
 	}, nil

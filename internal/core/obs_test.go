@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"mpmcs4fta/internal/gen"
+	"mpmcs4fta/internal/obs"
+)
+
+// collectNames flattens a span tree into name → count.
+func collectNames(recs []*obs.SpanRecord, into map[string]int) {
+	for _, r := range recs {
+		into[r.Name]++
+		collectNames(r.Children, into)
+	}
+}
+
+func TestAnalyzeTraceCoversSixSteps(t *testing.T) {
+	tracer := obs.NewJSONTracer()
+	sol, err := Analyze(context.Background(), gen.FPS(), Options{Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := make(map[string]int)
+	collectNames(tracer.Roots(), names)
+	for _, step := range []string{"analyze", "validate", "formula", "weights", "encode", "solve", "decode"} {
+		if names[step] == 0 {
+			t.Errorf("trace missing %q span; got %v", step, names)
+		}
+	}
+	// One engine span per portfolio member, losers included.
+	engineSpans := 0
+	for name, n := range names {
+		if len(name) > 7 && name[:7] == "engine:" {
+			engineSpans += n
+		}
+	}
+	if want := len(Options{}.withDefaults().Engines); engineSpans != want {
+		t.Errorf("got %d engine spans, want %d (every member, including losers)", engineSpans, want)
+	}
+
+	// The winning engine's counters must surface in the solution stats.
+	st := sol.Stats.Solver
+	if st.SATCalls == 0 && st.Decisions == 0 {
+		t.Errorf("solution stats carry no solver counters: %+v", st)
+	}
+	if len(st.Bounds) == 0 {
+		t.Error("solution stats missing the bound trajectory")
+	}
+}
+
+func TestAnalyzeTraceEngineCounters(t *testing.T) {
+	tracer := obs.NewJSONTracer()
+	if _, err := Analyze(context.Background(), gen.FPS(), Options{Tracer: tracer}); err != nil {
+		t.Fatal(err)
+	}
+	var check func(recs []*obs.SpanRecord)
+	found := 0
+	check = func(recs []*obs.SpanRecord) {
+		for _, r := range recs {
+			if len(r.Name) > 7 && r.Name[:7] == "engine:" {
+				found++
+				for _, key := range []string{"satCalls", "conflicts", "decisions", "propagations"} {
+					if _, ok := r.Attrs[key]; !ok {
+						t.Errorf("engine span %s missing %q attr: %v", r.Name, key, r.Attrs)
+					}
+				}
+			}
+			check(r.Children)
+		}
+	}
+	check(tracer.Roots())
+	if found == 0 {
+		t.Fatal("no engine spans recorded")
+	}
+}
+
+func TestAnalyzeMetrics(t *testing.T) {
+	m := obs.NewMetrics()
+	if _, err := Analyze(context.Background(), gen.FPS(), Options{Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get("analyses"); got != 1 {
+		t.Errorf("analyses = %d", got)
+	}
+	winners := int64(0)
+	for name, v := range m.Snapshot() {
+		if len(name) > 7 && name[:7] == "winner." {
+			winners += v
+		}
+	}
+	if winners != 1 {
+		t.Errorf("winner counters sum to %d, want 1", winners)
+	}
+}
+
+func TestAnalyzeTopKTraced(t *testing.T) {
+	tracer := obs.NewJSONTracer()
+	sols, err := AnalyzeTopK(context.Background(), gen.FPS(), 2, Options{Tracer: tracer, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("got %d solutions", len(sols))
+	}
+	names := make(map[string]int)
+	collectNames(tracer.Roots(), names)
+	if names["analyze-topk"] != 1 {
+		t.Errorf("want one analyze-topk root, got %v", names)
+	}
+	if names["solve"] < 2 || names["decode"] < 2 {
+		t.Errorf("want one solve+decode per round, got %v", names)
+	}
+	for _, step := range []string{"validate", "formula", "weights", "encode"} {
+		if names[step] != 1 {
+			t.Errorf("steps 1-4 should run once, got %v", names)
+		}
+	}
+}
+
+// TestAnalyzeNoTracerZeroStepAllocs pins the acceptance criterion that
+// the disabled tracing path creates no per-step objects: the no-op
+// span tree used by buildSteps and friends must not allocate.
+func TestAnalyzeNoTracerZeroStepAllocs(t *testing.T) {
+	var opts Options
+	tr := opts.tracer()
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := tr.StartSpan("analyze")
+		for _, step := range [...]string{"validate", "formula", "weights", "encode", "solve", "decode"} {
+			sp := root.StartSpan(step)
+			if sp.Recording() {
+				sp.SetInt("vars", 1)
+			}
+			sp.End()
+		}
+		root.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing path allocates %v objects per analysis, want 0", allocs)
+	}
+}

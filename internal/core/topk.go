@@ -26,7 +26,13 @@ func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*So
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
-	steps, err := BuildSteps(tree, opts)
+	root := opts.tracer().StartSpan("analyze-topk")
+	defer root.End()
+	if root.Recording() {
+		root.SetString("tree", tree.Name())
+		root.SetInt("k", int64(k))
+	}
+	steps, err := buildSteps(tree, opts, root)
 	if err != nil {
 		return nil, err
 	}
@@ -35,18 +41,19 @@ func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*So
 	var out []*Solution
 	for round := 0; round < k; round++ {
 		start := time.Now()
-		res, report, err := solveInstance(ctx, instance, opts)
+		res, report, err := solveSpanned(ctx, instance, opts, root)
 		if err != nil {
 			return out, err
 		}
 		if res.Status == maxsat.Infeasible {
 			break // all cut sets enumerated
 		}
-		solution, err := buildSolution(tree, steps, res.Model, report.Winner)
+		solution, err := decodeSolution(tree, steps, res.Model, report, root)
 		if err != nil {
 			return out, err
 		}
 		solution.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		recordAnalysisMetrics(opts.Metrics, solution, report)
 		out = append(out, solution)
 
 		// Block this cut set and all supersets: at least one member

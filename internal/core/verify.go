@@ -76,7 +76,7 @@ func AnalyzeDisjoint(ctx context.Context, tree *ft.Tree, k int, opts Options) ([
 		if res.Status == maxsat.Infeasible {
 			break
 		}
-		solution, err := buildSolution(tree, steps, res.Model, report.Winner)
+		solution, err := buildSolution(tree, steps, res.Model, report)
 		if err != nil {
 			return out, err
 		}

@@ -56,7 +56,9 @@ func (a *Analyzer) Analyze(ctx context.Context, overrides map[string]float64) (*
 		}
 	}
 
-	res, report, err := solveInstance(ctx, instance, a.opts)
+	root := a.opts.tracer().StartSpan("analyze-whatif")
+	defer root.End()
+	res, report, err := solveSpanned(ctx, instance, a.opts, root)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +66,12 @@ func (a *Analyzer) Analyze(ctx context.Context, overrides map[string]float64) (*
 		return nil, ErrNoCutSet
 	}
 	steps := &Steps{Encoding: a.enc, Weights: weights, Instance: instance}
-	return buildSolution(working, steps, res.Model, report.Winner)
+	sol, err := decodeSolution(working, steps, res.Model, report, root)
+	if err != nil {
+		return nil, err
+	}
+	recordAnalysisMetrics(a.opts.Metrics, sol, report)
+	return sol, nil
 }
 
 // SwitchPoint finds the smallest probability of the given event at
@@ -128,7 +135,9 @@ func AnalyzeAbove(ctx context.Context, tree *ft.Tree, minProb float64, opts Opti
 		return nil, fmt.Errorf("core: minProb must be in (0,1], got %v", minProb)
 	}
 	opts = opts.withDefaults()
-	steps, err := BuildSteps(tree, opts)
+	root := opts.tracer().StartSpan("analyze-above")
+	defer root.End()
+	steps, err := buildSteps(tree, opts, root)
 	if err != nil {
 		return nil, err
 	}
@@ -136,17 +145,18 @@ func AnalyzeAbove(ctx context.Context, tree *ft.Tree, minProb float64, opts Opti
 
 	var out []*Solution
 	for {
-		res, report, err := solveInstance(ctx, instance, opts)
+		res, report, err := solveSpanned(ctx, instance, opts, root)
 		if err != nil {
 			return out, err
 		}
 		if res.Status == maxsat.Infeasible {
 			break
 		}
-		solution, err := buildSolution(tree, steps, res.Model, report.Winner)
+		solution, err := decodeSolution(tree, steps, res.Model, report, root)
 		if err != nil {
 			return out, err
 		}
+		recordAnalysisMetrics(opts.Metrics, solution, report)
 		if solution.Probability < minProb {
 			break // everything after ranks lower still
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/obs"
 	"mpmcs4fta/internal/sat"
 )
 
@@ -29,6 +30,7 @@ type bbState struct {
 	best     []bool
 	bestCost int64
 	steps    int64
+	stats    obs.SolverStats
 }
 
 // Solve implements Solver.
@@ -62,12 +64,13 @@ func (b *BranchBound) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error)
 	})
 
 	if err := st.search(ctx, 0); err != nil {
-		return Result{}, err
+		return Result{Stats: st.stats}, err
 	}
 	if st.bestCost < 0 {
-		return Result{Status: Infeasible}, nil
+		return Result{Status: Infeasible, Stats: st.stats}, nil
 	}
-	return verifyResult(inst, Result{Status: Optimal, Model: st.best, Cost: st.bestCost})
+	st.stats.RecordBound(st.stats.Decisions, st.bestCost, st.bestCost)
+	return verifyResult(inst, Result{Status: Optimal, Model: st.best, Cost: st.bestCost, Stats: st.stats})
 }
 
 // search explores assignments to order[depth:]; assign holds the current
@@ -90,6 +93,7 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 	for {
 		unitVar, unitVal, conflict := st.findHardUnit()
 		if conflict {
+			st.stats.Conflicts++
 			undo()
 			return nil
 		}
@@ -97,6 +101,7 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 			break
 		}
 		st.assign[unitVar] = unitVal
+		st.stats.Propagations++
 		trail = append(trail, unitVar)
 	}
 
@@ -119,6 +124,7 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 		// Complete assignment; hard clauses hold by propagation above.
 		cost := st.falsifiedWeight()
 		if st.bestCost < 0 || cost < st.bestCost {
+			st.stats.RecordBound(st.stats.Decisions, 0, cost)
 			st.bestCost = cost
 			st.best = make([]bool, st.inst.NumVars+1)
 			for v := 1; v <= st.inst.NumVars; v++ {
@@ -131,6 +137,7 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 
 	for _, val := range [2]int8{1, -1} {
 		st.assign[branch] = val
+		st.stats.Decisions++
 		if err := st.search(ctx, depth+1); err != nil {
 			st.assign[branch] = 0
 			undo()

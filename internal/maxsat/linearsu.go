@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/obs"
 	"mpmcs4fta/internal/sat"
 )
 
@@ -29,6 +30,7 @@ func (l *LinearSU) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 	if err := inst.Validate(); err != nil {
 		return Result{}, fmt.Errorf("maxsat: %w", err)
 	}
+	var stats obs.SolverStats
 	s := sat.New(inst.NumVars, l.SatOptions)
 	for _, c := range inst.Hard {
 		if !s.AddClause(c...) {
@@ -82,11 +84,12 @@ func (l *LinearSU) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 	)
 	for {
 		if err := ctx.Err(); err != nil {
-			return Result{}, fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
+			return Result{Stats: stats}, fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
 		}
 		status, err := s.Solve(ctx)
+		addSATCall(&stats, s.ResetStats())
 		if err != nil {
-			return Result{}, err
+			return Result{Stats: stats}, err
 		}
 		if status != sat.Sat {
 			break
@@ -94,18 +97,22 @@ func (l *LinearSU) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 		model := truncateModel(s.Model(), inst.NumVars)
 		cost, err := inst.Cost(model)
 		if err != nil {
-			return Result{}, fmt.Errorf("maxsat: inconsistent model: %w", err)
+			return Result{Stats: stats}, fmt.Errorf("maxsat: inconsistent model: %w", err)
 		}
 		best, bestCost = model, cost
+		// Model-improving search: each SAT answer tightens the upper
+		// bound; the lower bound stays 0 until UNSAT proves optimality.
+		stats.RecordBound(stats.SATCalls, 0, cost)
 		if cost == 0 {
 			break
 		}
 		if err := s.SetBudgetBound(cost - 1); err != nil {
-			return Result{}, fmt.Errorf("maxsat: tighten bound: %w", err)
+			return Result{Stats: stats}, fmt.Errorf("maxsat: tighten bound: %w", err)
 		}
 	}
 	if bestCost < 0 {
-		return Result{Status: Infeasible}, nil
+		return Result{Status: Infeasible, Stats: stats}, nil
 	}
-	return verifyResult(inst, Result{Status: Optimal, Model: best, Cost: bestCost})
+	stats.RecordBound(stats.SATCalls, bestCost, bestCost)
+	return verifyResult(inst, Result{Status: Optimal, Model: best, Cost: bestCost, Stats: stats})
 }

@@ -18,6 +18,8 @@ import (
 	"fmt"
 
 	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/obs"
+	"mpmcs4fta/internal/sat"
 )
 
 // Status is the outcome of a MaxSAT solve.
@@ -53,6 +55,11 @@ type Result struct {
 	Model []bool
 	// Cost is the total weight of falsified soft clauses under Model.
 	Cost int64
+	// Stats reports the engine's work counters and cost-bound
+	// trajectory. It is populated on every return path — including
+	// errors and interruption — so the portfolio can report what each
+	// member did even when it lost the race.
+	Stats obs.SolverStats
 }
 
 // Solver is a Weighted Partial MaxSAT engine. Implementations must not
@@ -83,6 +90,18 @@ func verifyResult(inst *cnf.WCNF, res Result) (Result, error) {
 		return Result{}, fmt.Errorf("maxsat: engine reported cost %d but model costs %d", res.Cost, cost)
 	}
 	return res, nil
+}
+
+// addSATCall folds one SAT call's counter snapshot into the engine's
+// running statistics.
+func addSATCall(dst *obs.SolverStats, d sat.Stats) {
+	dst.SATCalls++
+	dst.Conflicts += d.Conflicts
+	dst.Decisions += d.Decisions
+	dst.Propagations += d.Propagations
+	dst.Restarts += d.Restarts
+	dst.LearntClauses += d.Learnt
+	dst.DeletedClauses += d.Deleted
 }
 
 // truncateModel trims helper variables so the model covers exactly the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/obs"
 	"mpmcs4fta/internal/sat"
 )
 
@@ -85,10 +86,13 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 		}
 	}
 
-	var cost int64
+	var (
+		cost  int64
+		stats obs.SolverStats
+	)
 	for {
 		if err := ctx.Err(); err != nil {
-			return Result{}, fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
+			return Result{Stats: stats}, fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
 		}
 		assumps := make([]cnf.Lit, 0, len(softs))
 		selToIdx := make(map[cnf.Lit]int, len(softs))
@@ -100,8 +104,9 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 			selToIdx[soft.selector] = i
 		}
 		status, err := s.Solve(ctx, assumps...)
+		addSATCall(&stats, s.ResetStats())
 		if err != nil {
-			return Result{}, err
+			return Result{Stats: stats}, err
 		}
 		if status == sat.Sat {
 			// Lower the threshold geometrically (but never past the
@@ -117,7 +122,8 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 			}
 			if maxInactive == 0 {
 				model := truncateModel(s.Model(), inst.NumVars)
-				return verifyResult(inst, Result{Status: Optimal, Model: model, Cost: cost})
+				stats.RecordBound(stats.SATCalls, cost, cost)
+				return verifyResult(inst, Result{Status: Optimal, Model: model, Cost: cost, Stats: stats})
 			}
 			threshold = threshold / 8
 			if threshold > maxInactive {
@@ -138,7 +144,7 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 		}
 		if len(coreIdx) == 0 {
 			// The hard clauses alone are unsatisfiable.
-			return Result{Status: Infeasible}, nil
+			return Result{Status: Infeasible, Stats: stats}, nil
 		}
 
 		wmin := softs[coreIdx[0]].weight
@@ -148,6 +154,9 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 			}
 		}
 		cost += wmin
+		// Core-guided search: each core payment raises the proven lower
+		// bound; no model (upper bound) exists until the final SAT.
+		stats.RecordBound(stats.SATCalls, cost, -1)
 
 		// Relax every core clause: C ∨ r ∨ sel' replaces it at weight
 		// wmin; the weight remainder keeps the existing clause and

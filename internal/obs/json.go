@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one recorded span in the JSON trace document. Times
+// are milliseconds relative to the tracer's creation, so traces are
+// reproducible modulo machine speed.
+type SpanRecord struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"startMillis"`
+	DurationMS float64        `json:"durationMillis"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanRecord  `json:"children,omitempty"`
+}
+
+// JSONTracer records spans in memory and writes them out as a single
+// JSON document (one span tree per root span). It is safe for
+// concurrent use.
+type JSONTracer struct {
+	mu    sync.Mutex
+	t0    time.Time
+	roots []*SpanRecord
+}
+
+var _ Tracer = (*JSONTracer)(nil)
+
+// NewJSONTracer returns an empty tracer; its clock starts now.
+func NewJSONTracer() *JSONTracer {
+	return &JSONTracer{t0: time.Now()}
+}
+
+// StartSpan implements Tracer.
+func (t *JSONTracer) StartSpan(name string) Span {
+	rec := &SpanRecord{Name: name, StartMS: sinceMillis(t.t0, time.Now())}
+	t.mu.Lock()
+	t.roots = append(t.roots, rec)
+	t.mu.Unlock()
+	return &jsonSpan{tracer: t, rec: rec, start: time.Now()}
+}
+
+// Roots returns the recorded root spans. The returned slice is a
+// snapshot; the span trees themselves are shared, so callers should
+// finish tracing before inspecting them.
+func (t *JSONTracer) Roots() []*SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*SpanRecord, len(t.roots))
+	copy(out, t.roots)
+	return out
+}
+
+// traceDoc is the serialised trace document.
+type traceDoc struct {
+	Spans []*SpanRecord `json:"spans"`
+}
+
+// WriteJSON writes the trace as an indented JSON document.
+func (t *JSONTracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceDoc{Spans: t.roots})
+}
+
+// jsonSpan is the recording Span. All mutation goes through the
+// tracer's mutex: span trees are written from portfolio goroutines.
+type jsonSpan struct {
+	tracer *JSONTracer
+	rec    *SpanRecord
+	start  time.Time
+}
+
+var _ Span = (*jsonSpan)(nil)
+
+// StartSpan implements Span.
+func (s *jsonSpan) StartSpan(name string) Span {
+	rec := &SpanRecord{Name: name, StartMS: sinceMillis(s.tracer.t0, time.Now())}
+	s.tracer.mu.Lock()
+	s.rec.Children = append(s.rec.Children, rec)
+	s.tracer.mu.Unlock()
+	return &jsonSpan{tracer: s.tracer, rec: rec, start: time.Now()}
+}
+
+// Recording implements Span.
+func (s *jsonSpan) Recording() bool { return true }
+
+func (s *jsonSpan) set(key string, v any) {
+	s.tracer.mu.Lock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]any)
+	}
+	s.rec.Attrs[key] = v
+	s.tracer.mu.Unlock()
+}
+
+// SetInt implements Span.
+func (s *jsonSpan) SetInt(key string, v int64) { s.set(key, v) }
+
+// SetFloat implements Span.
+func (s *jsonSpan) SetFloat(key string, v float64) { s.set(key, v) }
+
+// SetString implements Span.
+func (s *jsonSpan) SetString(key string, v string) { s.set(key, v) }
+
+// SetBool implements Span.
+func (s *jsonSpan) SetBool(key string, v bool) { s.set(key, v) }
+
+// SetValue implements Span.
+func (s *jsonSpan) SetValue(key string, v any) { s.set(key, v) }
+
+// End implements Span.
+func (s *jsonSpan) End() {
+	d := sinceMillis(s.start, time.Now())
+	s.tracer.mu.Lock()
+	s.rec.DurationMS = d
+	s.tracer.mu.Unlock()
+}

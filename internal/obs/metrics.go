@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metrics is a small named-counter registry — the process-level
+// aggregate view that complements per-analysis traces. All methods are
+// safe for concurrent use and safe on a nil receiver (a nil *Metrics
+// is the disabled state, so callers can record unconditionally).
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta. No-op on a nil receiver.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Get returns the named counter's value (0 when absent or nil).
+func (m *Metrics) Get(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (m *Metrics) Snapshot() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteText writes a plain-text snapshot, one "name value" line per
+// counter, sorted by name — the format the CLI --metrics flag emits.
+func (m *Metrics) WriteText(w io.Writer) error {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, snap[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Publish exposes the registry under the given expvar name as a JSON
+// map, so a process already serving /debug/vars (e.g. via the --pprof
+// flag) exports the counters with no extra plumbing. Publishing the
+// same name twice panics (an expvar property), so call once per
+// process.
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

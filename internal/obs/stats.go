@@ -1,0 +1,55 @@
+package obs
+
+// SolverStats aggregates the work counters of one MaxSAT engine run —
+// the per-call statistics the MaxSAT-evaluation literature uses to
+// characterise solvers. Engines fill it in even when interrupted, so
+// the portfolio can report what every member did, including losers.
+type SolverStats struct {
+	// SATCalls counts oracle invocations (successive SAT calls for the
+	// SAT-backed engines; 0 for branch-and-bound).
+	SATCalls int64 `json:"satCalls"`
+	// Conflicts, Decisions, Propagations, Restarts, LearntClauses and
+	// DeletedClauses sum the CDCL counters over all SAT calls. For
+	// branch-and-bound, Decisions counts branch assignments,
+	// Propagations unit propagations and Conflicts dead ends.
+	Conflicts      int64 `json:"conflicts"`
+	Decisions      int64 `json:"decisions"`
+	Propagations   int64 `json:"propagations"`
+	Restarts       int64 `json:"restarts"`
+	LearntClauses  int64 `json:"learntClauses"`
+	DeletedClauses int64 `json:"deletedClauses"`
+	// Bounds is the cost-bound trajectory: how the engine closed in on
+	// the optimum, one step per bound improvement.
+	Bounds []BoundStep `json:"bounds,omitempty"`
+}
+
+// BoundStep is one point of an engine's cost-bound trajectory.
+type BoundStep struct {
+	// Call is the engine's progress index when the bound moved: the
+	// SAT-call count for SAT-backed engines, the decision count for
+	// branch-and-bound.
+	Call int64 `json:"call"`
+	// Lower is the best proven lower bound on the optimum so far.
+	Lower int64 `json:"lower"`
+	// Upper is the best model cost found so far; -1 means no model yet.
+	Upper int64 `json:"upper"`
+}
+
+// RecordBound appends a trajectory step.
+func (s *SolverStats) RecordBound(call, lower, upper int64) {
+	s.Bounds = append(s.Bounds, BoundStep{Call: call, Lower: lower, Upper: upper})
+}
+
+// Add accumulates another run's counters into s; the bound trajectory
+// is concatenated. Useful for aggregating across portfolio members or
+// successive analyses.
+func (s *SolverStats) Add(o SolverStats) {
+	s.SATCalls += o.SATCalls
+	s.Conflicts += o.Conflicts
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Restarts += o.Restarts
+	s.LearntClauses += o.LearntClauses
+	s.DeletedClauses += o.DeletedClauses
+	s.Bounds = append(s.Bounds, o.Bounds...)
+}

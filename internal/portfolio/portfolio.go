@@ -4,6 +4,11 @@
 // motivates this with the observation that SAT-based solvers are "very
 // good at some instances and not that good at others"; running a diverse
 // portfolio gives stable behaviour across instance families.
+//
+// Observability: when the caller's context carries a tracing span (see
+// obs.ContextWithSpan), Solve records one child span per engine with
+// the engine's solver counters, and every EngineReport carries the
+// engine's obs.SolverStats — including losers and cancelled members.
 package portfolio
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"mpmcs4fta/internal/cnf"
 	"mpmcs4fta/internal/maxsat"
+	"mpmcs4fta/internal/obs"
 	"mpmcs4fta/internal/sat"
 )
 
@@ -42,19 +48,49 @@ func DefaultEngines() []Engine {
 type EngineReport struct {
 	Name      string
 	Elapsed   time.Duration
-	Completed bool   // finished with a definitive answer
+	Completed bool // finished with a definitive answer
+	// Cancelled marks an engine that was stopped because a sibling won
+	// the race — not a real failure. Err still names the interruption.
+	Cancelled bool
 	Err       string // non-empty when the engine failed or was cancelled
+	// Stats reports the engine's solver counters and bound trajectory,
+	// populated for winners, losers and cancelled members alike.
+	Stats obs.SolverStats
 }
 
 // Report summarises a portfolio run.
 type Report struct {
-	Winner  string
+	Winner string
+	// Elapsed is the time to the first definitive answer, or the total
+	// run time when every engine failed. It is always set.
 	Elapsed time.Duration
 	Engines []EngineReport
 }
 
+// WinnerReport returns the report of the winning engine, or nil when
+// no engine completed.
+func (r *Report) WinnerReport() *EngineReport {
+	if r.Winner == "" {
+		return nil
+	}
+	for i := range r.Engines {
+		if r.Engines[i].Name == r.Winner && r.Engines[i].Completed {
+			return &r.Engines[i]
+		}
+	}
+	return nil
+}
+
 // ErrNoEngines is returned when Solve is called with an empty portfolio.
 var ErrNoEngines = errors.New("portfolio: no engines")
+
+// cancelledBySibling reports whether err looks like the interruption
+// the race's cancel signal produces (as opposed to an engine bug).
+func cancelledBySibling(err error) bool {
+	return errors.Is(err, sat.ErrInterrupted) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
 
 // Solve runs all engines concurrently on (copies of) the instance and
 // returns the first definitive result; the remaining engines are
@@ -66,6 +102,8 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	parent := obs.SpanFromContext(ctx)
 
 	type outcome struct {
 		index   int
@@ -79,12 +117,14 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 	var wg sync.WaitGroup
 	for i, engine := range engines {
 		wg.Add(1)
-		go func(index int, e Engine, copyInst *cnf.WCNF) {
+		span := parent.StartSpan("engine:" + engine.Name)
+		go func(index int, e Engine, copyInst *cnf.WCNF, span obs.Span) {
 			defer wg.Done()
 			t0 := time.Now()
 			res, err := solveIsolated(runCtx, e.Solver, copyInst)
+			recordEngineSpan(span, res, err)
 			results <- outcome{index: index, result: res, err: err, elapsed: time.Since(t0)}
-		}(i, engine, inst.Clone())
+		}(i, engine, inst.Clone(), span)
 	}
 
 	report := Report{Engines: make([]EngineReport, len(engines))}
@@ -100,10 +140,16 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 		out := <-results
 		rep := &report.Engines[out.index]
 		rep.Elapsed = out.elapsed
+		rep.Stats = out.result.Stats
 		switch {
 		case out.err != nil:
 			rep.Err = out.err.Error()
-			if firstErr == nil {
+			// Interruptions that arrive after a sibling already won are
+			// the race's own cancel signal, not engine failures.
+			if winner != nil && cancelledBySibling(out.err) {
+				rep.Cancelled = true
+				rep.Err = "cancelled: sibling engine won: " + rep.Err
+			} else if firstErr == nil {
 				firstErr = fmt.Errorf("portfolio: engine %s: %w", engines[out.index].Name, out.err)
 			}
 		default:
@@ -121,9 +167,32 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 	close(results)
 
 	if winner == nil {
+		report.Elapsed = time.Since(start)
 		return maxsat.Result{}, report, firstErr
 	}
 	return winner.result, report, nil
+}
+
+// recordEngineSpan attaches an engine's counters to its trace span.
+func recordEngineSpan(span obs.Span, res maxsat.Result, err error) {
+	if span.Recording() {
+		span.SetString("status", res.Status.String())
+		span.SetInt("satCalls", res.Stats.SATCalls)
+		span.SetInt("conflicts", res.Stats.Conflicts)
+		span.SetInt("decisions", res.Stats.Decisions)
+		span.SetInt("propagations", res.Stats.Propagations)
+		span.SetInt("restarts", res.Stats.Restarts)
+		span.SetInt("learntClauses", res.Stats.LearntClauses)
+		if len(res.Stats.Bounds) > 0 {
+			span.SetValue("bounds", res.Stats.Bounds)
+		}
+		if err != nil {
+			span.SetString("err", err.Error())
+		} else if res.Status == maxsat.Optimal {
+			span.SetInt("cost", res.Cost)
+		}
+	}
+	span.End()
 }
 
 // solveIsolated converts a panicking engine into an error so a bug in
@@ -146,14 +215,18 @@ func SolveSequential(ctx context.Context, inst *cnf.WCNF, engines []Engine) (max
 	if len(engines) == 0 {
 		return maxsat.Result{}, Report{}, ErrNoEngines
 	}
+	parent := obs.SpanFromContext(ctx)
 	report := Report{Engines: make([]EngineReport, len(engines))}
 	start := time.Now()
 	var firstErr error
 	for i, engine := range engines {
 		report.Engines[i] = EngineReport{Name: engine.Name}
+		span := parent.StartSpan("engine:" + engine.Name)
 		t0 := time.Now()
 		res, err := engine.Solver.Solve(ctx, inst.Clone())
+		recordEngineSpan(span, res, err)
 		report.Engines[i].Elapsed = time.Since(t0)
+		report.Engines[i].Stats = res.Stats
 		if err != nil {
 			report.Engines[i].Err = err.Error()
 			if firstErr == nil {
@@ -166,5 +239,6 @@ func SolveSequential(ctx context.Context, inst *cnf.WCNF, engines []Engine) (max
 		report.Elapsed = time.Since(start)
 		return res, report, nil
 	}
+	report.Elapsed = time.Since(start)
 	return maxsat.Result{}, report, firstErr
 }

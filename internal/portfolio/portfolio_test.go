@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -123,9 +124,135 @@ func TestSolveFirstFinisherWins(t *testing.T) {
 		t.Errorf("portfolio took %v; cancellation failed", elapsed)
 	}
 	for _, rep := range report.Engines {
-		if rep.Name == "slow" && rep.Err == "" {
+		if rep.Name != "slow" {
+			continue
+		}
+		if rep.Err == "" {
 			t.Error("slow engine should report a cancellation error")
 		}
+		if !rep.Cancelled {
+			t.Errorf("slow engine reported as failed, not cancelled: %+v", rep)
+		}
+		if !strings.Contains(rep.Err, "cancelled") {
+			t.Errorf("Err should distinguish cancellation: %q", rep.Err)
+		}
+	}
+}
+
+// slowRealSolver wraps a real engine but stalls before solving, so it
+// reliably loses the race yet returns the engine's genuine
+// interruption error (not a bare context error). It exercises the
+// cancelled-not-failed classification with realistic error chains.
+type slowRealSolver struct{ inner maxsat.Solver }
+
+func (s slowRealSolver) Name() string { return "slow-real" }
+
+func (s slowRealSolver) Solve(ctx context.Context, inst *cnf.WCNF) (maxsat.Result, error) {
+	select {
+	case <-ctx.Done():
+		return s.inner.Solve(ctx, inst) // engine sees the cancelled context
+	case <-time.After(30 * time.Second):
+		return s.inner.Solve(ctx, inst)
+	}
+}
+
+func TestSolveCancelledEngineNotFailed(t *testing.T) {
+	engines := []Engine{
+		{Name: "slow-real", Solver: slowRealSolver{inner: &maxsat.LinearSU{}}},
+		{Name: "fast", Solver: &maxsat.BranchBound{}},
+	}
+	res, report, err := Solve(context.Background(), smallInstance(), engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Winner != "fast" || res.Cost != 5 {
+		t.Fatalf("winner %s cost %d", report.Winner, res.Cost)
+	}
+	if report.Elapsed <= 0 {
+		t.Error("Report.Elapsed not set")
+	}
+	for _, rep := range report.Engines {
+		switch rep.Name {
+		case "slow-real":
+			if !rep.Cancelled {
+				t.Errorf("loser should be cancelled, got %+v", rep)
+			}
+			if rep.Completed {
+				t.Error("cancelled engine cannot be completed")
+			}
+		case "fast":
+			if !rep.Completed || rep.Cancelled {
+				t.Errorf("winner report %+v", rep)
+			}
+			if rep.Stats.Decisions == 0 {
+				t.Error("winner's solver stats missing from its report")
+			}
+		}
+	}
+}
+
+func TestSolveAllFailElapsedSet(t *testing.T) {
+	engines := []Engine{{Name: "fail", Solver: failSolver{}}}
+	_, report, err := Solve(context.Background(), smallInstance(), engines)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if report.Elapsed <= 0 {
+		t.Error("Report.Elapsed must be set even when every engine fails")
+	}
+	_, report, err = SolveSequential(context.Background(), smallInstance(), engines)
+	if err == nil {
+		t.Fatal("expected sequential error")
+	}
+	if report.Elapsed <= 0 {
+		t.Error("sequential Report.Elapsed must be set on total failure")
+	}
+	if report.WinnerReport() != nil {
+		t.Error("WinnerReport on total failure should be nil")
+	}
+}
+
+// TestSolveRealFailureNotCancelled: an engine that errors on its own
+// must stay a failure even though a sibling later wins.
+func TestSolveRealFailureNotCancelled(t *testing.T) {
+	engines := []Engine{
+		{Name: "fail", Solver: failSolver{}},
+		{Name: "good", Solver: &maxsat.BranchBound{}},
+	}
+	_, report, err := Solve(context.Background(), smallInstance(), engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range report.Engines {
+		if rep.Name == "fail" && rep.Cancelled {
+			t.Errorf("genuine failure misclassified as cancellation: %+v", rep)
+		}
+	}
+}
+
+func TestSolveStatsForAllMembers(t *testing.T) {
+	res, report, err := Solve(context.Background(), smallInstance(), DefaultEngines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := report.WinnerReport()
+	if win == nil {
+		t.Fatal("no winner report")
+	}
+	if !reflect.DeepEqual(win.Stats, res.Stats) {
+		t.Error("winner's EngineReport.Stats disagrees with the result's stats")
+	}
+	completed := 0
+	for _, rep := range report.Engines {
+		if rep.Completed {
+			completed++
+			if rep.Stats.SATCalls == 0 && rep.Stats.Decisions == 0 {
+				t.Errorf("completed engine %s reported no work", rep.Name)
+			}
+		}
+	}
+	if completed == 0 {
+		t.Error("no engine completed")
 	}
 }
 

@@ -179,8 +179,19 @@ func (s *Solver) growTo(numVars int) {
 	}
 }
 
-// Stats returns a copy of the work counters.
+// Stats returns a copy of the work counters accumulated since
+// construction (or the last ResetStats).
 func (s *Solver) Stats() Stats { return s.stats }
+
+// ResetStats returns the counters accumulated since construction or
+// the last reset and zeroes them. Calling it after each Solve in an
+// incremental loop yields per-call snapshots instead of counters that
+// silently accumulate across successive MaxSAT iterations.
+func (s *Solver) ResetStats() Stats {
+	st := s.stats
+	s.stats = Stats{}
+	return st
+}
 
 func (s *Solver) value(l lit) lbool {
 	v := s.assigns[l.variable()]

@@ -32,6 +32,7 @@ import (
 	"mpmcs4fta/internal/ft"
 	"mpmcs4fta/internal/gen"
 	"mpmcs4fta/internal/mcs"
+	"mpmcs4fta/internal/obs"
 	"mpmcs4fta/internal/quant"
 	"mpmcs4fta/internal/sim"
 )
@@ -78,6 +79,25 @@ type (
 	// Interval is a closed probability interval for uncertainty
 	// propagation.
 	Interval = quant.Interval
+
+	// Tracer receives hierarchical spans for the pipeline's six steps;
+	// set Options.Tracer to observe an analysis.
+	Tracer = obs.Tracer
+	// Span is one traced operation; engines appear as "engine:<name>"
+	// children of the solve span.
+	Span = obs.Span
+	// JSONTracer records spans in memory and serialises them as JSON.
+	JSONTracer = obs.JSONTracer
+	// SpanRecord is the exported form of a finished span.
+	SpanRecord = obs.SpanRecord
+	// Metrics is a process-wide named-counter registry; set
+	// Options.Metrics to accumulate analysis counters.
+	Metrics = obs.Metrics
+	// SolverStats aggregates per-engine solver telemetry (SAT calls,
+	// conflicts, decisions, propagations, bound trajectory).
+	SolverStats = obs.SolverStats
+	// BoundStep is one point of an engine's cost-bound trajectory.
+	BoundStep = obs.BoundStep
 )
 
 // Gate kinds.
@@ -95,6 +115,13 @@ var (
 
 // NewTree returns an empty fault tree with the given name.
 func NewTree(name string) *Tree { return ft.New(name) }
+
+// NewJSONTracer returns an in-memory tracer whose span tree can be
+// written as JSON (JSONTracer.WriteJSON) after the analysis.
+func NewJSONTracer() *JSONTracer { return obs.NewJSONTracer() }
+
+// NewMetrics returns an empty counter registry for Options.Metrics.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
 
 // LoadTreeJSON parses and validates a fault tree from its JSON format.
 func LoadTreeJSON(r io.Reader) (*Tree, error) { return ft.ReadJSON(r) }

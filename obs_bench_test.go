@@ -1,0 +1,95 @@
+package mpmcs4fta
+
+// Guards the observability acceptance criterion: with no tracer
+// configured, Analyze must run at the same speed as with an explicit
+// no-op tracer — the disabled instrumentation path costs nothing
+// measurable (< 5% on the FPS pipeline).
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mpmcs4fta/internal/obs"
+)
+
+// analyzeBatch runs iters sequential analyses and returns the elapsed
+// wall time.
+func analyzeBatch(tb testing.TB, opts Options, iters int) time.Duration {
+	tb.Helper()
+	ctx := context.Background()
+	tree := ExampleFPS()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sol, err := Analyze(ctx, tree, opts)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if sol.Probability < 0.0199 || sol.Probability > 0.0201 {
+			tb.Fatalf("wrong answer: %v", sol.Probability)
+		}
+	}
+	return time.Since(start)
+}
+
+// TestNopTracerOverheadGuard compares Analyze with Options zero value
+// (tracer unset) against an explicitly-set no-op tracer. Timing noise
+// is absorbed by taking the best of several trials and allowing a few
+// attempts: a real regression fails every round, scheduler jitter does
+// not.
+func TestNopTracerOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	base := Options{Sequential: true}
+	nop := Options{Sequential: true, Tracer: obs.Nop()}
+	const iters = 40
+
+	analyzeBatch(t, base, iters) // warm up caches and the allocator
+	analyzeBatch(t, nop, iters)
+
+	var lastBase, lastNop time.Duration
+	for attempt := 0; attempt < 4; attempt++ {
+		baseBest, nopBest := time.Duration(1<<62), time.Duration(1<<62)
+		for trial := 0; trial < 5; trial++ {
+			if d := analyzeBatch(t, base, iters); d < baseBest {
+				baseBest = d
+			}
+			if d := analyzeBatch(t, nop, iters); d < nopBest {
+				nopBest = d
+			}
+		}
+		lastBase, lastNop = baseBest, nopBest
+		if float64(nopBest) <= 1.05*float64(baseBest) {
+			return
+		}
+	}
+	t.Errorf("no-op tracer overhead above 5%%: baseline %v, nop tracer %v per %d analyses",
+		lastBase, lastNop, iters)
+}
+
+// BenchmarkAnalyzeTracing reports the cost of each tracing mode on the
+// FPS pipeline; "none" and "nop" must coincide, "json" shows the price
+// of recording.
+func BenchmarkAnalyzeTracing(b *testing.B) {
+	modes := []struct {
+		name string
+		opts func() Options
+	}{
+		{"none", func() Options { return Options{Sequential: true} }},
+		{"nop", func() Options { return Options{Sequential: true, Tracer: obs.Nop()} }},
+		{"json", func() Options { return Options{Sequential: true, Tracer: NewJSONTracer()} }},
+	}
+	ctx := context.Background()
+	tree := ExampleFPS()
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Analyze(ctx, tree, mode.opts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

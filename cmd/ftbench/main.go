@@ -82,9 +82,17 @@ func run(args []string, stdout io.Writer) (err error) {
 		metrics  = fs.String("metrics", "", "write a plain-text metrics snapshot ('-' for stderr)")
 		pprof    = fs.String("pprof", "", "serve net/http/pprof and expvar on this address while experiments run")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile covering the whole run")
+
+		benchOut  = fs.String("bench", "", "run the nightly benchmark suite and write BENCH JSON to this file")
+		baseline  = fs.String("compare", "", "compare the benchmark run against this baseline BENCH JSON, failing on regression")
+		benchTime = fs.Duration("benchtime", time.Second, "minimum measuring time per benchmark scenario")
+		benchTol  = fs.Float64("bench-tolerance", 0.10, "allowed relative score regression before -compare fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchOut != "" || *baseline != "" {
+		return runBenchMode(*benchOut, *baseline, *benchTime, *benchTol, stdout)
 	}
 	if *listFlag {
 		for _, e := range experiments() {

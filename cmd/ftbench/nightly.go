@@ -1,0 +1,241 @@
+package main
+
+// Nightly benchmark mode (-bench / -compare): a fixed scenario suite is
+// timed and written as a BENCH_*.json document, and optionally compared
+// against a checked-in baseline, failing on regression. Raw wall times
+// vary across CI machines, so every scenario's score is normalized by a
+// pure-CPU calibration loop measured in the same process: score =
+// scenario ns/op ÷ calibration ns/op. A scenario regresses when its
+// score exceeds the baseline score by more than the tolerance.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"mpmcs4fta/internal/core"
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+	"mpmcs4fta/internal/quant"
+)
+
+// benchSchema versions the BENCH JSON document.
+const benchSchema = "mpmcs4fta-bench/v1"
+
+// calibrateName is the normalization scenario; it is stored in the
+// document but never compared.
+const calibrateName = "calibrate"
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	// Score is NsPerOp normalized by the calibration loop's NsPerOp —
+	// the machine-independent number the regression gate compares.
+	Score float64 `json:"score"`
+}
+
+type benchDoc struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"goVersion"`
+	Results   []benchResult `json:"results"`
+}
+
+type benchScenario struct {
+	name string
+	run  func() error
+}
+
+// benchScenarios is the nightly suite: one entry per hot path worth
+// gating (pipeline end-to-end, encoding, each oracle, ranked
+// enumeration). Workloads are seeded, so every run times identical
+// instances.
+func benchScenarios() []benchScenario {
+	ctx := context.Background()
+	seq := core.Options{Sequential: true}
+	fps := gen.FPS()
+	mk := func(events int, voting float64) *ft.Tree {
+		tree, err := gen.Random(gen.Config{Events: events, VotingFrac: voting, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		return tree
+	}
+	tree200 := mk(200, 0)
+	tree500 := mk(500, 0.15)
+	return []benchScenario{
+		{calibrateName, func() error {
+			// xorshift64: pure CPU, no allocation, fixed work.
+			x := uint64(2463534242)
+			for i := 0; i < 1_000_000; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			if x == 0 {
+				return fmt.Errorf("xorshift reached zero")
+			}
+			return nil
+		}},
+		{"fps-analyze", func() error {
+			_, err := core.Analyze(ctx, fps, seq)
+			return err
+		}},
+		{"random200-analyze", func() error {
+			_, err := core.Analyze(ctx, tree200, seq)
+			return err
+		}},
+		{"random500-encode", func() error {
+			_, err := core.BuildSteps(tree500, seq)
+			return err
+		}},
+		{"random200-bdd-baseline", func() error {
+			_, err := core.AnalyzeBDD(tree200, seq)
+			return err
+		}},
+		{"random200-top-probability", func() error {
+			_, err := quant.TopEventProbability(tree200)
+			return err
+		}},
+		{"scada-topk8", func() error {
+			_, err := core.AnalyzeTopK(ctx, gen.RedundantSCADA(), 8, seq)
+			return err
+		}},
+	}
+}
+
+// measure times run until at least benchtime has elapsed, doubling the
+// iteration count each round (the testing.B strategy, dependency-free).
+func measure(run func() error, benchtime time.Duration) (benchResult, error) {
+	if err := run(); err != nil { // warm-up, also surfaces errors early
+		return benchResult{}, err
+	}
+	n := 1
+	for {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := run(); err != nil {
+				return benchResult{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= benchtime || n >= 1<<24 {
+			return benchResult{
+				Iterations:  n,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+			}, nil
+		}
+		n *= 2
+	}
+}
+
+// runBenchSuite measures every scenario and normalizes scores by the
+// calibration loop.
+func runBenchSuite(benchtime time.Duration, progress io.Writer) (*benchDoc, error) {
+	doc := &benchDoc{Schema: benchSchema, GoVersion: runtime.Version()}
+	var calibNs float64
+	for _, s := range benchScenarios() {
+		res, err := measure(s.run, benchtime)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", s.name, err)
+		}
+		res.Name = s.name
+		if s.name == calibrateName {
+			calibNs = res.NsPerOp
+		}
+		fmt.Fprintf(progress, "bench %-26s %12.0f ns/op %10.1f allocs/op\n", s.name, res.NsPerOp, res.AllocsPerOp)
+		doc.Results = append(doc.Results, res)
+	}
+	if calibNs <= 0 {
+		return nil, fmt.Errorf("bench: calibration scenario missing")
+	}
+	for i := range doc.Results {
+		doc.Results[i].Score = doc.Results[i].NsPerOp / calibNs
+	}
+	return doc, nil
+}
+
+// compareBench returns one message per regression: a scenario whose
+// normalized score exceeds the baseline's by more than tolerance
+// (e.g. 0.10 = 10%), or a baseline scenario that vanished.
+func compareBench(current, baseline *benchDoc, tolerance float64) []string {
+	cur := make(map[string]benchResult, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	var regressions []string
+	for _, base := range baseline.Results {
+		if base.Name == calibrateName {
+			continue
+		}
+		now, ok := cur[base.Name]
+		switch {
+		case !ok:
+			regressions = append(regressions, fmt.Sprintf("%s: missing from current run", base.Name))
+		case base.Score > 0 && now.Score > base.Score*(1+tolerance):
+			regressions = append(regressions, fmt.Sprintf("%s: score %.3f vs baseline %.3f (+%.0f%%, tolerance %.0f%%)",
+				base.Name, now.Score, base.Score, 100*(now.Score/base.Score-1), 100*tolerance))
+		}
+	}
+	sort.Strings(regressions)
+	return regressions
+}
+
+// runBenchMode executes -bench/-compare: run the suite, write the JSON
+// document, and fail on regression against the baseline if given.
+func runBenchMode(outPath, baselinePath string, benchtime time.Duration, tolerance float64, stdout io.Writer) error {
+	doc, err := runBenchSuite(benchtime, stdout)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := writeFile(outPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "bench results written to %s\n", outPath)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	baseline, err := readBenchDoc(baselinePath)
+	if err != nil {
+		return err
+	}
+	if regressions := compareBench(doc, baseline, tolerance); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(stdout, "REGRESSION", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) vs %s", len(regressions), baselinePath)
+	}
+	fmt.Fprintf(stdout, "no regression vs %s (tolerance %.0f%%)\n", baselinePath, 100*tolerance)
+	return nil
+}
+
+func readBenchDoc(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: unknown schema %q (want %q)", path, doc.Schema, benchSchema)
+	}
+	return &doc, nil
+}

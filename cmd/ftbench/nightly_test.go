@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchSuiteSmoke: the suite runs end to end at a tiny benchtime,
+// produces a normalized score for every scenario, and the written
+// document round-trips through the reader.
+func TestBenchSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out strings.Builder
+	doc, err := runBenchSuite(time.Millisecond, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) < 2 {
+		t.Fatalf("suite too small: %d scenarios", len(doc.Results))
+	}
+	for _, r := range doc.Results {
+		if r.NsPerOp <= 0 || r.Score <= 0 {
+			t.Errorf("scenario %s has non-positive measurements: %+v", r.Name, r)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, err := readBenchDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Results) != len(doc.Results) {
+		t.Errorf("round trip lost scenarios: %d != %d", len(again.Results), len(doc.Results))
+	}
+}
+
+// TestCompareBench: the regression gate fires on score growth beyond
+// tolerance and on vanished scenarios, and stays quiet otherwise.
+func TestCompareBench(t *testing.T) {
+	baseline := &benchDoc{Schema: benchSchema, Results: []benchResult{
+		{Name: calibrateName, Score: 1},
+		{Name: "a", Score: 10},
+		{Name: "b", Score: 4},
+		{Name: "gone", Score: 2},
+	}}
+	current := &benchDoc{Schema: benchSchema, Results: []benchResult{
+		{Name: calibrateName, Score: 1},
+		{Name: "a", Score: 10.5}, // +5%: inside tolerance
+		{Name: "b", Score: 5},    // +25%: regression
+		{Name: "new", Score: 9},  // not in baseline: ignored
+	}}
+	regressions := compareBench(current, baseline, 0.10)
+	if len(regressions) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regressions)
+	}
+	joined := strings.Join(regressions, "\n")
+	if !strings.Contains(joined, "b:") || !strings.Contains(joined, "gone:") {
+		t.Errorf("unexpected regression set:\n%s", joined)
+	}
+	if got := compareBench(current, current, 0.10); len(got) != 0 {
+		t.Errorf("self-comparison regressed: %v", got)
+	}
+}
+
+// TestCheckedInBaselineIsReadable: the baseline the nightly workflow
+// gates against must parse and cover the current scenario list.
+func TestCheckedInBaselineIsReadable(t *testing.T) {
+	doc, err := readBenchDoc("../../testdata/bench/BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(doc.Results))
+	for _, r := range doc.Results {
+		names[r.Name] = true
+	}
+	for _, s := range benchScenarios() {
+		if !names[s.name] {
+			t.Errorf("baseline missing scenario %q — regenerate with: go run ./cmd/ftbench -bench testdata/bench/BENCH_baseline.json", s.name)
+		}
+	}
+}
+
+// TestReadBenchDocRejectsBadSchema: foreign JSON cannot silently pass
+// as a baseline.
+func TestReadBenchDocRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBenchDoc(path); err == nil {
+		t.Fatal("expected schema error")
+	}
+}

@@ -1,0 +1,97 @@
+package cnf
+
+// Native Go fuzz targets for the DIMACS CNF and WCNF parsers — the
+// untrusted-input boundary of the whole system (cmd/cdcl, cmd/wpms and
+// cmd/ftdiff all feed user files straight into these readers). The
+// invariant under fuzz is "parse → write → parse is the identity":
+// any input the reader accepts must survive a round trip through the
+// writer unchanged.
+//
+// Seed corpora live under testdata/fuzz/<target>/ (valid instances,
+// comment/blank-line edge cases, and malformed inputs that must be
+// rejected without panicking). Run with:
+//
+//	go test -fuzz=FuzzDIMACS -fuzztime=30s ./internal/cnf
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func FuzzDIMACS(f *testing.F) {
+	f.Add([]byte("p cnf 3 2\n1 -2 0\n-1 3 0\n"))
+	f.Add([]byte("c comment\np cnf 1 1\n1 0\n"))
+	f.Add([]byte("p cnf 0 0\n"))
+	f.Add([]byte("1 2 0\n"))            // clause before problem line
+	f.Add([]byte("p cnf 2 2\n1 0\n"))   // clause count mismatch
+	f.Add([]byte("p cnf 1 1\n1 2 0\n")) // literal beyond declared vars
+	f.Add([]byte("p cnf 1 1\n1\n"))     // unterminated clause
+	f.Fuzz(func(t *testing.T, data []byte) {
+		formula, err := ReadDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return // rejected without panicking — fine
+		}
+		var buf bytes.Buffer
+		if err := formula.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("write accepted formula: %v", err)
+		}
+		again, err := ReadDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read own output: %v\n%s", err, buf.Bytes())
+		}
+		if again.NumVars != formula.NumVars || !reflect.DeepEqual(again.Clauses, formula.Clauses) {
+			t.Fatalf("round trip changed the formula:\nbefore %+v\nafter  %+v", formula, again)
+		}
+	})
+}
+
+func FuzzWCNF(f *testing.F) {
+	// Classic dialect.
+	f.Add([]byte("p wcnf 3 3 10\n10 1 2 0\n4 -1 0\n3 3 0\n"))
+	f.Add([]byte("c top weight marks hards\np wcnf 2 2 6\n6 1 0\n2 -2 0\n"))
+	// 2022 dialect.
+	f.Add([]byte("h 1 2 0\n4 -1 0\n"))
+	f.Add([]byte("c only comments and softs\n1 1 0\n"))
+	// Malformed.
+	f.Add([]byte("p wcnf 2 1 5\n0 1 0\n")) // zero weight
+	f.Add([]byte("p wcnf 2 9 5\n5 1 0\n")) // clause count mismatch
+	f.Add([]byte("h 1\n"))                 // unterminated hard clause
+	f.Add([]byte("p wcnf 1 1 5\np wcnf 1 1 5\n5 1 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadWCNFAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("reader accepted an invalid instance: %v", err)
+		}
+		// Classic-dialect round trip preserves everything.
+		var buf bytes.Buffer
+		if err := inst.WriteWCNF(&buf); err != nil {
+			t.Fatalf("write classic: %v", err)
+		}
+		again, err := ReadWCNF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read classic output: %v\n%s", err, buf.Bytes())
+		}
+		if again.NumVars != inst.NumVars ||
+			!reflect.DeepEqual(again.Hard, inst.Hard) ||
+			!reflect.DeepEqual(again.Soft, inst.Soft) {
+			t.Fatalf("classic round trip changed the instance:\nbefore %+v\nafter  %+v", inst, again)
+		}
+		// 2022-dialect round trip preserves the clauses (NumVars is
+		// implicit in that format, so it may shrink to the max literal).
+		buf.Reset()
+		if err := inst.WriteWCNF2022(&buf); err != nil {
+			t.Fatalf("write 2022: %v", err)
+		}
+		again, err = ReadWCNF2022(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read 2022 output: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(again.Hard, inst.Hard) || !reflect.DeepEqual(again.Soft, inst.Soft) {
+			t.Fatalf("2022 round trip changed the clauses:\nbefore %+v\nafter  %+v", inst, again)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package differ
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+	"mpmcs4fta/internal/maxsat"
+)
+
+// TestCheckTreeNamedTreesAgree: every literature tree passes the full
+// harness, top-k cross-check included.
+func TestCheckTreeNamedTreesAgree(t *testing.T) {
+	ctx := context.Background()
+	trees := []*ft.Tree{
+		gen.FPS(),
+		gen.PressureTank(),
+		gen.RedundantSCADA(),
+		gen.ReactorProtection(),
+		gen.RailwayCrossing(),
+	}
+	for _, tree := range trees {
+		rep, err := CheckTree(ctx, tree, Options{TopK: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Name(), err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s: unexpected divergences:\n%s", tree.Name(), rep)
+		}
+		if len(rep.Engines) == 0 {
+			t.Fatalf("%s: no engines ran", tree.Name())
+		}
+	}
+}
+
+// TestCheckTreeFPSOracle: the oracle columns carry the paper's known
+// values for the Fig. 1 tree (MPMCS {x1,x2}, p = 0.02).
+func TestCheckTreeFPSOracle(t *testing.T) {
+	rep, err := CheckTree(context.Background(), gen.FPS(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("unexpected divergences:\n%s", rep)
+	}
+	if math.Abs(rep.OracleProbability-0.02) > 1e-12 {
+		t.Errorf("oracle probability = %v, want 0.02", rep.OracleProbability)
+	}
+	if rep.TopProbability < rep.OracleProbability {
+		t.Errorf("P(top) %v below MPMCS probability %v", rep.TopProbability, rep.OracleProbability)
+	}
+	for _, e := range rep.Engines {
+		if e.Err != "" {
+			continue
+		}
+		if got := strings.Join(e.CutSet, ","); got != "x1,x2" {
+			t.Errorf("engine %s decoded %q, want x1,x2", e.Name, got)
+		}
+	}
+}
+
+// TestCheckRandomSeededAgree: a spread of seeded generator instances
+// with mixed gates all pass.
+func TestCheckRandomSeededAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := context.Background()
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := gen.Config{Events: 10, VotingFrac: 0.25, Seed: seed}
+		rep, err := CheckRandom(ctx, cfg, Options{TopK: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.OK() {
+			t.Errorf("seed %d: unexpected divergences:\n%s", seed, rep)
+		}
+	}
+}
+
+// TestCheckWCNFAgreement: a hand-built instance passes, and an
+// infeasible one yields unanimous INFEASIBLE without divergence.
+func TestCheckWCNF(t *testing.T) {
+	ctx := context.Background()
+
+	feasible := &cnf.WCNF{}
+	feasible.AddHard(1, 2)
+	feasible.AddHard(-1, 3)
+	feasible.AddSoft(3, 1)
+	feasible.AddSoft(2, 2)
+	feasible.AddSoft(4, -3)
+	rep, err := CheckWCNF(ctx, feasible, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("feasible instance: unexpected divergences:\n%s", rep)
+	}
+
+	infeasible := &cnf.WCNF{}
+	infeasible.AddHard(1)
+	infeasible.AddHard(-1)
+	infeasible.AddSoft(1, 2)
+	rep, err = CheckWCNF(ctx, infeasible, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("infeasible instance: unexpected divergences:\n%s", rep)
+	}
+	for _, e := range rep.Engines {
+		if e.Status != maxsat.Infeasible.String() {
+			t.Errorf("engine %s status %s, want INFEASIBLE", e.Name, e.Status)
+		}
+	}
+}
+
+// TestCheckWCNFRejectsInvalid: malformed instances are a setup error,
+// not a divergence.
+func TestCheckWCNFRejectsInvalid(t *testing.T) {
+	bad := &cnf.WCNF{NumVars: 1, Soft: []cnf.SoftClause{{Clause: cnf.Clause{1}, Weight: -3}}}
+	if _, err := CheckWCNF(context.Background(), bad, Options{}); err == nil {
+		t.Fatal("expected error for negative soft weight")
+	}
+}
+
+// TestReportString: the human rendering names the instance and every
+// divergence.
+func TestReportString(t *testing.T) {
+	r := &Report{Name: "demo"}
+	r.Engines = append(r.Engines, EngineResult{Name: "wmsu1", Status: "OPTIMAL", Cost: 7, Elapsed: time.Millisecond})
+	r.diverge(CheckCost, "wmsu1", "optimum 7, but engine linear-su found 6")
+	s := r.String()
+	for _, want := range []string{"demo", "1 divergence", "wmsu1", "[cost]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, s)
+		}
+	}
+	ok := &Report{Name: "demo"}
+	if !strings.Contains(ok.String(), "agreement") {
+		t.Errorf("clean report should say agreement:\n%s", ok.String())
+	}
+}

@@ -1,0 +1,119 @@
+package differ
+
+import (
+	"context"
+
+	"mpmcs4fta/internal/gen"
+)
+
+// shrinkSeedTries is how many derived seeds each shrink candidate is
+// retried with: a divergence that vanishes under the exact original
+// seed often reappears under a neighbouring one at the smaller size.
+const shrinkSeedTries = 6
+
+// CheckRandom generates the seeded random tree described by cfg and
+// runs the full differential harness on it.
+func CheckRandom(ctx context.Context, cfg gen.Config, opts Options) (*Report, error) {
+	tree, err := gen.Random(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return CheckTree(ctx, tree, opts)
+}
+
+// Shrink minimizes a divergent generator configuration: starting from
+// cfg, it greedily walks the generator parameters down (fewer events,
+// smaller fan-in, no voting gates, no shared subtrees), accepting a
+// candidate whenever the generated tree still produces a divergence
+// under some derived seed. The returned config is a local minimum — no
+// single further reduction diverges — and the returned report is the
+// divergent run at that minimum.
+//
+// When cfg itself does not diverge (or generation fails), Shrink
+// returns cfg and a nil report: there is nothing to reproduce.
+func Shrink(ctx context.Context, cfg gen.Config, opts Options) (gen.Config, *Report) {
+	report := diverges(ctx, cfg, opts)
+	if report == nil {
+		return cfg, nil
+	}
+	for {
+		smaller, rep := shrinkStep(ctx, cfg, opts)
+		if rep == nil {
+			return cfg, report
+		}
+		cfg, report = smaller, rep
+	}
+}
+
+// shrinkStep tries every single-parameter reduction of cfg and returns
+// the first that still diverges, or a nil report when none does.
+func shrinkStep(ctx context.Context, cfg gen.Config, opts Options) (gen.Config, *Report) {
+	for _, candidate := range reductions(cfg) {
+		if rep := divergesAnySeed(ctx, candidate, opts); rep != nil {
+			return candidate, rep
+		}
+	}
+	return cfg, nil
+}
+
+// reductions lists the single-step parameter reductions of cfg, most
+// aggressive first. Fields whose zero value means "default" (AndBias,
+// MinProb, MaxProb) are left alone: zeroing them would not shrink the
+// instance, only change its flavour.
+func reductions(cfg gen.Config) []gen.Config {
+	var out []gen.Config
+	if half := cfg.Events / 2; half >= 2 && half < cfg.Events {
+		c := cfg
+		c.Events = half
+		out = append(out, c)
+	}
+	if cfg.Events > 2 {
+		c := cfg
+		c.Events--
+		out = append(out, c)
+	}
+	if cfg.VotingFrac > 0 {
+		c := cfg
+		c.VotingFrac = 0
+		out = append(out, c)
+	}
+	if !cfg.NoSharing {
+		c := cfg
+		c.NoSharing = true
+		out = append(out, c)
+	}
+	if cfg.MaxFanIn > 2 {
+		c := cfg
+		c.MaxFanIn = 2
+		out = append(out, c)
+	}
+	return out
+}
+
+// divergesAnySeed checks the candidate under its own seed and a few
+// deterministically derived ones, returning the first divergent report.
+func divergesAnySeed(ctx context.Context, cfg gen.Config, opts Options) *Report {
+	for i := 0; i < shrinkSeedTries; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		if rep := diverges(ctx, c, opts); rep != nil {
+			return rep
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// diverges runs the harness on cfg's tree and returns the report iff it
+// contains at least one divergence. Generation or harness errors count
+// as non-divergent: the shrink loop must never trade a real engine
+// disagreement for a mere setup failure.
+func diverges(ctx context.Context, cfg gen.Config, opts Options) *Report {
+	rep, err := CheckRandom(ctx, cfg, opts)
+	if err != nil || rep.OK() {
+		return nil
+	}
+	return rep
+}

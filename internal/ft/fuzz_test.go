@@ -1,0 +1,80 @@
+package ft
+
+// Native Go fuzz targets for the two fault-tree input formats. Both
+// readers validate what they accept, so the fuzz invariant is twofold:
+// anything accepted is a valid tree (Validate passes, top reachable),
+// and the writers are exact inverses — write → read → write is
+// byte-stable. Seed corpora live under testdata/fuzz/<target>/.
+//
+//	go test -fuzz=FuzzTreeText -fuzztime=30s ./internal/ft
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzTreeJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"demo","top":"g","events":[{"id":"a","probability":0.1},{"id":"b","probability":0.2}],"gates":[{"id":"g","type":"and","inputs":["a","b"]}]}`))
+	f.Add([]byte(`{"top":"g","events":[{"id":"a","probability":0.5},{"id":"b","probability":0.5},{"id":"c","probability":0.5}],"gates":[{"id":"g","type":"voting","k":2,"inputs":["a","b","c"]}]}`))
+	f.Add([]byte(`{"top":"missing","events":[],"gates":[]}`))
+	f.Add([]byte(`{"top":"g","events":[{"id":"a","probability":2}],"gates":[{"id":"g","type":"and","inputs":["a"]}]}`))
+	f.Add([]byte(`{"top":"a","events":[{"id":"a","probability":0.1}],"gates":[{"id":"a","type":"or","inputs":["a"]}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("reader accepted an invalid tree: %v", err)
+		}
+		first, err := tree.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal accepted tree: %v", err)
+		}
+		again, err := ReadJSON(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("re-read own output: %v\n%s", err, first)
+		}
+		second, err := again.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip changed the tree:\nbefore %s\nafter  %s", first, second)
+		}
+	})
+}
+
+func FuzzTreeText(f *testing.F) {
+	f.Add([]byte("tree demo\ntop g\nevent a 0.1 first event\nevent b 0.2\ngate g and a b\n"))
+	f.Add([]byte("# voting\ntop g\nevent a 0.5\nevent b 0.5\nevent c 0.5\ngate g 2of3 a b c\n"))
+	f.Add([]byte("top g\nevent a 1e-6\nevent b 0.3\ngate h or a b\ngate g and h a\n"))
+	f.Add([]byte("event a nan\n"))
+	f.Add([]byte("gate g 2of9 a b\n"))
+	f.Add([]byte("top g\ngate g and g\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("reader accepted an invalid tree: %v", err)
+		}
+		var first bytes.Buffer
+		if err := tree.WriteText(&first); err != nil {
+			t.Fatalf("write accepted tree: %v", err)
+		}
+		again, err := ReadText(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read own output: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := again.WriteText(&second); err != nil {
+			t.Fatalf("re-write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip changed the tree:\nbefore %s\nafter  %s", first.Bytes(), second.Bytes())
+		}
+	})
+}

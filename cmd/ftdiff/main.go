@@ -14,6 +14,13 @@
 //	ftdiff -random 50 -events 12 -voting 0.25
 //	ftdiff -random 1 -seed 1337 -topk 5 instance.wcnf
 //
+// The -deadline mode exercises the anytime contract: every engine runs
+// under the given short budget, and interrupted engines must return
+// sound FEASIBLE incumbents — model feasible, cost at or above the
+// optimum, proven lower bound at or below it, decoded probability never
+// beating the BDD oracle (top-k ranking is skipped, as an interrupted
+// round cannot promise rank order).
+//
 // When a random instance diverges, ftdiff shrinks the generator
 // configuration to a locally minimal reproducer and prints it.
 //
@@ -48,14 +55,15 @@ func main() {
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("ftdiff", flag.ContinueOnError)
 	var (
-		random  = fs.Int("random", 0, "additionally check this many seeded random instances")
-		seed    = fs.Int64("seed", 1, "base seed for random instances (instance i uses seed+i)")
-		events  = fs.Int("events", 10, "basic events per random instance")
-		fanIn   = fs.Int("fanin", 4, "maximum gate fan-in of random instances")
-		voting  = fs.Float64("voting", 0.25, "fraction of voting gates in random instances")
-		topK    = fs.Int("topk", 3, "also cross-check the first K ranked cut sets (0 = off)")
-		timeout = fs.Duration("timeout", time.Minute, "per-engine solve timeout")
-		verbose = fs.Bool("v", false, "print every report, not only divergent ones")
+		random   = fs.Int("random", 0, "additionally check this many seeded random instances")
+		seed     = fs.Int64("seed", 1, "base seed for random instances (instance i uses seed+i)")
+		events   = fs.Int("events", 10, "basic events per random instance")
+		fanIn    = fs.Int("fanin", 4, "maximum gate fan-in of random instances")
+		voting   = fs.Float64("voting", 0.25, "fraction of voting gates in random instances")
+		topK     = fs.Int("topk", 3, "also cross-check the first K ranked cut sets (0 = off)")
+		timeout  = fs.Duration("timeout", time.Minute, "per-engine solve timeout")
+		deadline = fs.Duration("deadline", 0, "anytime mode: run each engine under this short budget and cross-check FEASIBLE answers against the BDD oracle (disables -topk)")
+		verbose  = fs.Bool("v", false, "print every report, not only divergent ones")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
@@ -63,12 +71,19 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if *random < 0 {
 		return 2, fmt.Errorf("-random must be non-negative")
 	}
+	if *deadline < 0 {
+		return 2, fmt.Errorf("-deadline must be non-negative")
+	}
 	if len(fs.Args()) == 0 && *random == 0 {
 		fs.Usage()
 		return 2, fmt.Errorf("nothing to check: give input files and/or -random N")
 	}
 
 	opts := differ.Options{TopK: *topK, Timeout: *timeout}
+	if *deadline > 0 {
+		opts.Timeout = *deadline
+		opts.TopK = 0
+	}
 	ctx := context.Background()
 	checked, divergent := 0, 0
 

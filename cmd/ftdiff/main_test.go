@@ -42,6 +42,23 @@ func TestRunRandomInstances(t *testing.T) {
 	}
 }
 
+func TestRunDeadlineMode(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-deadline", "50ms", "-random", "3", "-events", "12", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0:\n%s", code, out.String())
+	}
+
+	// A negative deadline is a usage error.
+	out.Reset()
+	if code, _ := run([]string{"-deadline", "-1s", "-random", "1"}, &out); code != 2 {
+		t.Errorf("negative deadline: exit code %d, want 2", code)
+	}
+}
+
 func TestRunWCNFInput(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "small.wcnf")

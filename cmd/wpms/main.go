@@ -34,7 +34,8 @@ func main() {
 
 // run executes the solver and returns the process exit code following
 // MaxSAT-evaluation conventions: 0 unknown/error, 30 optimum found,
-// 20 unsatisfiable.
+// 20 unsatisfiable, 10 satisfiable (anytime incumbent whose optimality
+// was not proven before the deadline).
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("wpms", flag.ContinueOnError)
 	var (
@@ -104,6 +105,14 @@ func run(args []string, stdout io.Writer) (int, error) {
 			fmt.Fprintln(stdout, "v "+modelLine(res.Model, inst.NumVars))
 		}
 		return 30, nil
+	case maxsat.Feasible:
+		fmt.Fprintf(stdout, "c lower bound %d, optimality gap %d\n", res.LowerBound, res.Gap())
+		fmt.Fprintf(stdout, "o %d\n", res.Cost)
+		fmt.Fprintln(stdout, "s SATISFIABLE")
+		if !*quiet {
+			fmt.Fprintln(stdout, "v "+modelLine(res.Model, inst.NumVars))
+		}
+		return 10, nil
 	default:
 		fmt.Fprintln(stdout, "s UNKNOWN")
 		return 0, nil

@@ -119,6 +119,35 @@ func TestReadWCNFErrors(t *testing.T) {
 	}
 }
 
+func TestWCNFWeightOverflowRejected(t *testing.T) {
+	// Two softs of 2^62 each: the sum wraps int64, so every reader and
+	// Validate must reject the instance instead of accounting with a
+	// negative total (the 2022 dialect permits weights near 2^63).
+	const w62 = "4611686018427387904"
+	classic := "p wcnf 2 2 9223372036854775807\n" + w62 + " 1 0\n" + w62 + " 2 0\n"
+	if _, err := ReadWCNF(strings.NewReader(classic)); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("classic reader: want overflow error, got %v", err)
+	}
+	modern := w62 + " 1 0\n" + w62 + " 2 0\n"
+	if _, err := ReadWCNF2022(strings.NewReader(modern)); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("2022 reader: want overflow error, got %v", err)
+	}
+	var inst WCNF
+	inst.AddSoft(1<<62, 1)
+	inst.AddSoft(1<<62, 2)
+	if err := inst.Validate(); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("Validate: want overflow error, got %v", err)
+	}
+	// The maximum total (MaxInt64−1, leaving room for the classic "top"
+	// weight) stays valid.
+	var ok WCNF
+	ok.AddSoft(1<<62, 1)
+	ok.AddSoft(1<<62-2, 2)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected a non-overflowing instance: %v", err)
+	}
+}
+
 func TestWCNF2022RoundTrip(t *testing.T) {
 	var w WCNF
 	w.AddHard(1, 2, -3)

@@ -58,6 +58,8 @@ func FuzzWCNF(f *testing.F) {
 	f.Add([]byte("p wcnf 2 9 5\n5 1 0\n")) // clause count mismatch
 	f.Add([]byte("h 1\n"))                 // unterminated hard clause
 	f.Add([]byte("p wcnf 1 1 5\np wcnf 1 1 5\n5 1 0\n"))
+	// Total soft weight overflowing int64 (each weight is 2^62).
+	f.Add([]byte("4611686018427387904 1 0\n4611686018427387904 2 0\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		inst, err := ReadWCNFAuto(bytes.NewReader(data))
 		if err != nil {

@@ -4,9 +4,18 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// maxTotalSoftWeight bounds the sum of all soft weights: one slot below
+// MaxInt64 so the classic WCNF "top" weight (total+1) still fits. The
+// 2022 MaxSAT-evaluation dialect permits individual weights near 2^63,
+// so adversarial instances can overflow int64 accumulators in the
+// engines and the budget propagator; Validate and the readers reject
+// them up front with a clear error instead.
+const maxTotalSoftWeight = math.MaxInt64 - 1
 
 // SoftClause is a clause that may be falsified at a cost.
 type SoftClause struct {
@@ -117,6 +126,7 @@ func (w *WCNF) Validate() error {
 			return err
 		}
 	}
+	var total int64
 	for i, s := range w.Soft {
 		if err := check(s.Clause, "soft", i); err != nil {
 			return err
@@ -124,6 +134,10 @@ func (w *WCNF) Validate() error {
 		if s.Weight <= 0 {
 			return fmt.Errorf("cnf: soft clause %d has non-positive weight %d", i, s.Weight)
 		}
+		if s.Weight > maxTotalSoftWeight-total {
+			return fmt.Errorf("cnf: total soft weight overflows int64 at clause %d (weight %d)", i, s.Weight)
+		}
+		total += s.Weight
 	}
 	return nil
 }
@@ -188,7 +202,10 @@ func (w *WCNF) WriteWCNF2022(out io.Writer) error {
 func ReadWCNF2022(r io.Reader) (*WCNF, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	var w WCNF
+	var (
+		w     WCNF
+		total int64
+	)
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
@@ -216,6 +233,10 @@ func ReadWCNF2022(r io.Reader) (*WCNF, error) {
 		if err != nil || weight <= 0 {
 			return nil, fmt.Errorf("cnf: line %d: bad weight %q", lineNo, fields[0])
 		}
+		if weight > maxTotalSoftWeight-total {
+			return nil, fmt.Errorf("cnf: line %d: total soft weight overflows int64", lineNo)
+		}
+		total += weight
 		clause, err := parseClauseLine(strings.Join(fields[1:], " "))
 		if err != nil {
 			return nil, fmt.Errorf("cnf: line %d: %w", lineNo, err)
@@ -259,6 +280,7 @@ func ReadWCNF(r io.Reader) (*WCNF, error) {
 		declVars   int
 		declNum    int
 		top        int64
+		total      int64
 		sawProblem bool
 	)
 	lineNo := 0
@@ -297,6 +319,10 @@ func ReadWCNF(r io.Reader) (*WCNF, error) {
 		if weight >= top {
 			w.Hard = append(w.Hard, clause)
 		} else {
+			if weight > maxTotalSoftWeight-total {
+				return nil, fmt.Errorf("cnf: line %d: total soft weight overflows int64", lineNo)
+			}
+			total += weight
 			w.Soft = append(w.Soft, SoftClause{Clause: clause, Weight: weight})
 		}
 		w.growVars(clause)

@@ -7,6 +7,7 @@ import (
 
 	"mpmcs4fta/internal/bdd"
 	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/maxsat"
 )
 
 // AnalyzeBDD computes the MPMCS with the BDD engine instead of MaxSAT:
@@ -78,6 +79,7 @@ func AnalyzeBDD(tree *ft.Tree, opts Options) (*Solution, error) {
 		Probability: prob,
 		LogCost:     logCost,
 		Solver:      "bdd",
+		Status:      maxsat.Optimal.String(),
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
 		Stats: SolutionStats{
 			Events: stats.Events,
@@ -152,6 +154,7 @@ func AnalyzeTopKBDD(tree *ft.Tree, k int, opts Options) ([]*Solution, error) {
 			Probability: r.Prob,
 			LogCost:     logCost,
 			Solver:      "bdd",
+			Status:      maxsat.Optimal.String(),
 			ElapsedMS:   elapsed,
 			Stats: SolutionStats{
 				Events: stats.Events,

@@ -258,6 +258,18 @@ type Solution struct {
 	Solver      string          `json:"solver"`
 	ElapsedMS   float64         `json:"elapsedMillis"`
 	Stats       SolutionStats   `json:"stats"`
+	// Status is "OPTIMAL" when the solve proved the reported cut set
+	// maximal-probability, "FEASIBLE" for an anytime answer returned
+	// under a deadline: still a sound minimal cut set, but possibly not
+	// the most probable one.
+	Status string `json:"status,omitempty"`
+	// OptimalityGap bounds how far a FEASIBLE answer may be from the
+	// optimum, in −log-probability space: the true MPMCS log-cost is at
+	// least LogCost − OptimalityGap. Zero (omitted) when OPTIMAL.
+	OptimalityGap float64 `json:"optimalityGap,omitempty"`
+	// ProbabilityUpperBound is exp(−provenLowerBound): no cut set is
+	// more probable than this. Set only for FEASIBLE answers.
+	ProbabilityUpperBound float64 `json:"probabilityUpperBound,omitempty"`
 	// Weights reproduces Table I: the Step-3 transform of every event.
 	Weights []EventWeight `json:"weights"`
 }
@@ -295,10 +307,15 @@ func Analyze(ctx context.Context, tree *ft.Tree, opts Options) (*Solution, error
 	if err != nil {
 		return nil, err
 	}
-	if res.Status == maxsat.Infeasible {
+	switch res.Status {
+	case maxsat.Infeasible:
 		return nil, ErrNoCutSet
+	case maxsat.Optimal, maxsat.Feasible:
+		// proceed; Feasible is the anytime answer under a deadline
+	default:
+		return nil, fmt.Errorf("core: solver returned no answer (status %v)", res.Status)
 	}
-	solution, err := decodeSolution(tree, steps, res.Model, report, root)
+	solution, err := decodeSolution(tree, steps, res, report, opts, root)
 	if err != nil {
 		return nil, err
 	}
@@ -332,13 +349,14 @@ func solveSpanned(ctx context.Context, inst *cnf.WCNF, opts Options, parent obs.
 }
 
 // decodeSolution wraps Step 6 in a "decode" span.
-func decodeSolution(tree *ft.Tree, steps *Steps, model []bool, report portfolio.Report, parent obs.SpanStarter) (*Solution, error) {
+func decodeSolution(tree *ft.Tree, steps *Steps, res maxsat.Result, report portfolio.Report, opts Options, parent obs.SpanStarter) (*Solution, error) {
 	sp := parent.StartSpan("decode")
 	defer sp.End()
-	solution, err := buildSolution(tree, steps, model, report)
+	solution, err := buildSolution(tree, steps, res, report, opts)
 	if err == nil && sp.Recording() {
 		sp.SetInt("cutSetSize", int64(len(solution.MPMCS)))
 		sp.SetFloat("probability", solution.Probability)
+		sp.SetString("solutionStatus", solution.Status)
 	}
 	return solution, err
 }
@@ -354,17 +372,32 @@ func recordAnalysisMetrics(m *obs.Metrics, sol *Solution, report portfolio.Repor
 	if report.Winner != "" {
 		m.Add("winner."+report.Winner, 1)
 	}
+	if sol.Status == maxsat.Feasible.String() {
+		m.Add("anytime_answers", 1)
+	}
 	s := sol.Stats.Solver
 	m.Add("sat_calls", s.SATCalls)
 	m.Add("conflicts", s.Conflicts)
 	m.Add("decisions", s.Decisions)
 	m.Add("propagations", s.Propagations)
+	if c := report.Coop; c.ModelsPublished > 0 || c.LowerBoundsPublished > 0 {
+		m.Add("coop_models_published", c.ModelsPublished)
+		m.Add("coop_models_improved", c.ModelsImproved)
+		m.Add("coop_lower_bounds_published", c.LowerBoundsPublished)
+	}
+	if report.Coop.RaceClosedByBounds {
+		m.Add("coop_race_closed_by_bounds", 1)
+	}
 }
 
 // buildSolution extracts the cut set from a MaxSAT model (falsified y
 // variables = failed events), minimises it defensively, and performs
-// the Step-6 reverse transformation.
-func buildSolution(tree *ft.Tree, steps *Steps, model []bool, report portfolio.Report) (*Solution, error) {
+// the Step-6 reverse transformation. Feasible (anytime) results decode
+// exactly like Optimal ones — the minimisation pass guarantees the
+// reported set is a genuine minimal cut set either way — but carry the
+// optimality gap translated back to log/probability space.
+func buildSolution(tree *ft.Tree, steps *Steps, res maxsat.Result, report portfolio.Report, opts Options) (*Solution, error) {
+	model := res.Model
 	winner := report.Winner
 	var solverStats obs.SolverStats
 	if win := report.WinnerReport(); win != nil {
@@ -409,13 +442,14 @@ func buildSolution(tree *ft.Tree, steps *Steps, model []bool, report portfolio.R
 	}
 
 	stats := tree.Stats()
-	return &Solution{
+	solution := &Solution{
 		Tree:        tree.Name(),
 		Method:      "Weighted Partial MaxSAT",
 		MPMCS:       events,
 		Probability: probability,
 		LogCost:     logCost,
 		Solver:      winner,
+		Status:      res.Status.String(),
 		Stats: SolutionStats{
 			Events:      stats.Events,
 			Gates:       stats.Gates,
@@ -425,7 +459,20 @@ func buildSolution(tree *ft.Tree, steps *Steps, model []bool, report portfolio.R
 			Solver:      solverStats,
 		},
 		Weights: steps.Weights,
-	}, nil
+	}
+	if res.Status == maxsat.Feasible {
+		scale := opts.Scale
+		if scale == 0 {
+			scale = DefaultScale
+		}
+		if gap := res.Gap(); gap > 0 {
+			solution.OptimalityGap = float64(gap) / scale
+		}
+		// No cut set is cheaper than the proven lower bound, so none is
+		// more probable than exp(−lb/scale).
+		solution.ProbabilityUpperBound = math.Exp(-float64(res.LowerBound) / scale)
+	}
+	return solution, nil
 }
 
 // minimizeCutSet greedily removes unnecessary events; for coherent

@@ -48,13 +48,21 @@ func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*So
 		if res.Status == maxsat.Infeasible {
 			break // all cut sets enumerated
 		}
-		solution, err := decodeSolution(tree, steps, res.Model, report, root)
+		if res.Status == maxsat.Unknown {
+			break // deadline with nothing to report; keep earlier rounds
+		}
+		solution, err := decodeSolution(tree, steps, res, report, opts, root)
 		if err != nil {
 			return out, err
 		}
 		solution.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 		recordAnalysisMetrics(opts.Metrics, solution, report)
 		out = append(out, solution)
+		if res.Status == maxsat.Feasible {
+			// An anytime round is not proven maximal, so later rounds
+			// could rank out of order: report it and stop enumerating.
+			break
+		}
 
 		// Block this cut set and all supersets: at least one member
 		// event must not fail (yᵢ true).

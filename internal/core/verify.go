@@ -73,15 +73,15 @@ func AnalyzeDisjoint(ctx context.Context, tree *ft.Tree, k int, opts Options) ([
 		if err != nil {
 			return out, err
 		}
-		if res.Status == maxsat.Infeasible {
+		if res.Status == maxsat.Infeasible || res.Status == maxsat.Unknown {
 			break
 		}
-		solution, err := buildSolution(tree, steps, res.Model, report)
+		solution, err := buildSolution(tree, steps, res, report, opts)
 		if err != nil {
 			return out, err
 		}
 		out = append(out, solution)
-		if len(solution.MPMCS) == 0 {
+		if res.Status == maxsat.Feasible || len(solution.MPMCS) == 0 {
 			break
 		}
 		for _, e := range solution.MPMCS {

@@ -62,11 +62,15 @@ func (a *Analyzer) Analyze(ctx context.Context, overrides map[string]float64) (*
 	if err != nil {
 		return nil, err
 	}
-	if res.Status == maxsat.Infeasible {
+	switch res.Status {
+	case maxsat.Infeasible:
 		return nil, ErrNoCutSet
+	case maxsat.Optimal, maxsat.Feasible:
+	default:
+		return nil, fmt.Errorf("core: solver returned no answer (status %v)", res.Status)
 	}
 	steps := &Steps{Encoding: a.enc, Weights: weights, Instance: instance}
-	sol, err := decodeSolution(working, steps, res.Model, report, root)
+	sol, err := decodeSolution(working, steps, res, report, a.opts, root)
 	if err != nil {
 		return nil, err
 	}
@@ -149,10 +153,10 @@ func AnalyzeAbove(ctx context.Context, tree *ft.Tree, minProb float64, opts Opti
 		if err != nil {
 			return out, err
 		}
-		if res.Status == maxsat.Infeasible {
+		if res.Status == maxsat.Infeasible || res.Status == maxsat.Unknown {
 			break
 		}
-		solution, err := decodeSolution(tree, steps, res.Model, report, root)
+		solution, err := decodeSolution(tree, steps, res, report, opts, root)
 		if err != nil {
 			return out, err
 		}
@@ -161,6 +165,11 @@ func AnalyzeAbove(ctx context.Context, tree *ft.Tree, minProb float64, opts Opti
 			break // everything after ranks lower still
 		}
 		out = append(out, solution)
+		if res.Status == maxsat.Feasible {
+			// Anytime round: not proven maximal, so stop before the
+			// descending-order contract is violated.
+			break
+		}
 		block := make([]cnf.Lit, 0, len(solution.MPMCS))
 		for _, e := range solution.MPMCS {
 			block = append(block, cnf.Lit(steps.Encoding.VarOf[e.ID]))

@@ -1,0 +1,126 @@
+package differ
+
+import (
+	"context"
+	"testing"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/gen"
+	"mpmcs4fta/internal/maxsat"
+	"mpmcs4fta/internal/portfolio"
+)
+
+// interruptOnFirstModel cancels its sub-context as soon as the wrapped
+// engine publishes an incumbent, forcing a FEASIBLE answer without
+// depending on wall-clock deadlines.
+type interruptOnFirstModel struct{ inner maxsat.ProgressSolver }
+
+type cancelOnModel struct{ cancel context.CancelFunc }
+
+func (p cancelOnModel) PublishModel(int64, []bool) { p.cancel() }
+func (p cancelOnModel) PublishLower(int64)         {}
+func (p cancelOnModel) BestKnown() (int64, bool)   { return 0, false }
+func (p cancelOnModel) ProvenLower() int64         { return 0 }
+
+func (s interruptOnFirstModel) Name() string { return "anytime" }
+
+func (s interruptOnFirstModel) Solve(ctx context.Context, inst *cnf.WCNF) (maxsat.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return s.inner.SolveWithProgress(ctx, inst, cancelOnModel{cancel})
+}
+
+// fixedResult replays a canned Result — used to fabricate unsound
+// anytime answers the harness must catch.
+type fixedResult struct {
+	name string
+	res  maxsat.Result
+}
+
+func (s fixedResult) Name() string { return s.name }
+
+func (s fixedResult) Solve(context.Context, *cnf.WCNF) (maxsat.Result, error) {
+	return s.res, nil
+}
+
+func anytimePlusReference() []portfolio.Engine {
+	return []portfolio.Engine{
+		{Name: "anytime", Solver: interruptOnFirstModel{inner: &maxsat.LinearSU{}}},
+		{Name: "linear-su", Solver: &maxsat.LinearSU{}},
+	}
+}
+
+// TestCheckWCNFFeasibleSound: a genuine anytime answer (verified model,
+// cost above the optimum, lower bound below it) must not be flagged —
+// and must not be drafted as the comparison reference either.
+func TestCheckWCNFFeasibleSound(t *testing.T) {
+	// Hard (1 ∨ 2) ∧ (2 ∨ 3), softs ¬1/2, ¬2/3, ¬3/10: optimum 5.
+	var inst cnf.WCNF
+	inst.NumVars = 3
+	inst.AddHard(1, 2)
+	inst.AddHard(2, 3)
+	inst.AddSoft(2, -1)
+	inst.AddSoft(3, -2)
+	inst.AddSoft(10, -3)
+
+	rep, err := CheckWCNF(context.Background(), &inst, Options{Engines: anytimePlusReference()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("sound anytime answer flagged as divergence:\n%s", rep)
+	}
+	for _, e := range rep.Engines {
+		if e.Err != "" {
+			t.Errorf("engine %s errored: %s", e.Name, e.Err)
+		}
+	}
+}
+
+// TestCheckWCNFFeasibleUnsoundLowerBound: a FEASIBLE answer whose proven
+// lower bound exceeds the true optimum is a soundness bug and must
+// surface as a feasible-bound divergence.
+func TestCheckWCNFFeasibleUnsoundLowerBound(t *testing.T) {
+	// Single soft ¬1 of weight 4 under hard (1): optimum 4.
+	var inst cnf.WCNF
+	inst.NumVars = 1
+	inst.AddHard(1)
+	inst.AddSoft(4, -1)
+
+	lying := fixedResult{name: "liar", res: maxsat.Result{
+		Status:     maxsat.Feasible,
+		Model:      []bool{false, true},
+		Cost:       4,
+		LowerBound: 7, // claims the optimum is ≥ 7 — impossible
+	}}
+	engines := []portfolio.Engine{
+		{Name: "liar", Solver: lying},
+		{Name: "linear-su", Solver: &maxsat.LinearSU{}},
+	}
+	rep, err := CheckWCNF(context.Background(), &inst, Options{Engines: engines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Divergences {
+		if d.Check == CheckFeasible && d.Engine == "liar" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unsound lower bound not flagged:\n%s", rep)
+	}
+}
+
+// TestCheckTreeFeasibleAgainstOracle: on a full fault-tree check the
+// anytime engine's decoded cut set must never beat the BDD oracle's
+// MPMCS probability, and a sound one passes the whole harness.
+func TestCheckTreeFeasibleAgainstOracle(t *testing.T) {
+	rep, err := CheckTree(context.Background(), gen.FPS(), Options{Engines: anytimePlusReference()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("sound anytime tree answer flagged:\n%s", rep)
+	}
+}

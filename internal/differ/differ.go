@@ -23,7 +23,11 @@
 //     BDD oracle's exact maximum within tolerance, and never exceeds
 //     the exact top-event probability;
 //   - top-k agreement (optional): the MaxSAT blocking-clause ranking
-//     matches the BDD best-first enumeration rank by rank.
+//     matches the BDD best-first enumeration rank by rank;
+//   - anytime soundness: a FEASIBLE (deadline-interrupted) answer's
+//     model is feasible, its cost bounds the optimum from above, its
+//     proven lower bound from below, and its decoded probability never
+//     beats the BDD oracle's exact optimum.
 //
 // Disagreements are reported as Divergences, not errors: a divergence
 // is the harness working, and the caller (cmd/ftdiff, the fuzz targets,
@@ -74,6 +78,10 @@ const (
 	// CheckQuantBound marks an MPMCS probability exceeding the exact
 	// top-event probability — impossible for a coherent tree.
 	CheckQuantBound = "quant-bound"
+	// CheckFeasible marks an anytime (FEASIBLE) answer that contradicts
+	// a proven optimum: its cost must bound the optimum from above and
+	// its proven lower bound from below.
+	CheckFeasible = "feasible-bound"
 	// CheckTopK marks a rank at which the MaxSAT blocking-clause
 	// enumeration and the BDD best-first enumeration disagree.
 	CheckTopK = "topk"
@@ -214,6 +222,7 @@ func solveAll(ctx context.Context, inst *cnf.WCNF, opts Options, r *Report) ([]m
 		}
 		start := time.Now()
 		res, err := engine.Solver.Solve(runCtx, inst.Clone())
+		timedOut := runCtx.Err() != nil && ctx.Err() == nil
 		if cancel != nil {
 			cancel()
 		}
@@ -229,7 +238,11 @@ func solveAll(ctx context.Context, inst *cnf.WCNF, opts Options, r *Report) ([]m
 				return nil, fmt.Errorf("differ: engine %s: %w", engine.Name, err)
 			}
 			er.Err = err.Error()
-			r.diverge(CheckEngineError, engine.Name, "solve failed: %v", err)
+			if !timedOut {
+				// A per-engine deadline interrupt with no incumbent is the
+				// anytime contract working, not an engine bug.
+				r.diverge(CheckEngineError, engine.Name, "solve failed: %v", err)
+			}
 		}
 		r.Engines = append(r.Engines, er)
 	}
@@ -242,7 +255,7 @@ func solveAll(ctx context.Context, inst *cnf.WCNF, opts Options, r *Report) ([]m
 func checkInstanceAgreement(inst *cnf.WCNF, opts Options, results []maxsat.Result, r *Report) {
 	reference := -1 // first engine with a definitive, error-free answer
 	for i := range results {
-		if r.Engines[i].Err != "" {
+		if r.Engines[i].Err != "" || !results[i].Status.Definitive() {
 			continue
 		}
 		if reference == -1 {
@@ -260,8 +273,33 @@ func checkInstanceAgreement(inst *cnf.WCNF, opts Options, results []maxsat.Resul
 				cur.Cost, opts.Engines[reference].Name, ref.Cost)
 		}
 	}
+	// Anytime (FEASIBLE) answers cannot be compared for equality, but
+	// they must bracket the reference: cost is an upper bound on the
+	// optimum, the proven lower bound a lower one, and a feasible model
+	// contradicts a proven-infeasible instance outright.
+	if reference >= 0 {
+		refName := opts.Engines[reference].Name
+		for i, res := range results {
+			if r.Engines[i].Err != "" || res.Status != maxsat.Feasible {
+				continue
+			}
+			if results[reference].Status == maxsat.Infeasible {
+				r.diverge(CheckStatus, opts.Engines[i].Name, "FEASIBLE model, but engine %s proved INFEASIBLE", refName)
+				continue
+			}
+			opt := results[reference].Cost
+			if res.Cost < opt {
+				r.diverge(CheckFeasible, opts.Engines[i].Name, "anytime cost %d below optimum %d (engine %s)",
+					res.Cost, opt, refName)
+			}
+			if res.LowerBound > opt {
+				r.diverge(CheckFeasible, opts.Engines[i].Name, "proven lower bound %d exceeds optimum %d (engine %s)",
+					res.LowerBound, opt, refName)
+			}
+		}
+	}
 	for i, res := range results {
-		if r.Engines[i].Err != "" || res.Status != maxsat.Optimal {
+		if r.Engines[i].Err != "" || (res.Status != maxsat.Optimal && res.Status != maxsat.Feasible) {
 			continue
 		}
 		cost, err := inst.Cost(res.Model)
@@ -344,11 +382,11 @@ func CheckTree(ctx context.Context, tree *ft.Tree, opts Options) (*Report, error
 			}
 			continue
 		}
-		if res.Status != maxsat.Optimal {
+		if res.Status != maxsat.Optimal && res.Status != maxsat.Feasible {
 			continue
 		}
 		if oracleErr == core.ErrNoCutSet {
-			r.diverge(CheckStatus, er.Name, "OPTIMAL, but BDD oracle reports the top event cannot occur")
+			r.diverge(CheckStatus, er.Name, "%s, but BDD oracle reports the top event cannot occur", res.Status)
 			continue
 		}
 		set := decodeFailedSet(steps, res.Model)
@@ -366,7 +404,9 @@ func CheckTree(ctx context.Context, tree *ft.Tree, opts Options) (*Report, error
 		// With every weight positive, a MaxSAT optimum is necessarily
 		// minimal; free (p=1) and impossible (p=0) events void that
 		// argument, so the minimality check only applies without them.
-		if !freeEvents {
+		// An anytime model is merely feasible, so its failed set is a cut
+		// set but need not be minimal.
+		if !freeEvents && res.Status == maxsat.Optimal {
 			minimal, err := mcs.IsMinimalCutSet(tree, set)
 			if err != nil {
 				return nil, fmt.Errorf("differ: minimality of engine %s: %w", er.Name, err)
@@ -377,8 +417,13 @@ func CheckTree(ctx context.Context, tree *ft.Tree, opts Options) (*Report, error
 			}
 		}
 		if oracleErr == nil {
-			if !probEqual(er.Probability, oracle.Probability) {
-				r.diverge(CheckProbability, er.Name, "decoded p=%g, BDD oracle optimum p=%g (set %v)",
+			if res.Status == maxsat.Optimal {
+				if !probEqual(er.Probability, oracle.Probability) {
+					r.diverge(CheckProbability, er.Name, "decoded p=%g, BDD oracle optimum p=%g (set %v)",
+						er.Probability, oracle.Probability, set)
+				}
+			} else if er.Probability > oracle.Probability*(1+ProbTolerance)+1e-300 {
+				r.diverge(CheckFeasible, er.Name, "anytime p=%g exceeds BDD oracle optimum p=%g (set %v)",
 					er.Probability, oracle.Probability, set)
 			}
 			if er.Probability > r.TopProbability*(1+ProbTolerance)+1e-300 {

@@ -16,9 +16,13 @@ import (
 // clauses already fully falsified. It needs no SAT oracle at all, which
 // makes it a usefully different portfolio member — strong on small and
 // highly-constrained instances, weak on large under-constrained ones.
+//
+// Run cooperatively (SolveWithProgress), the engine also prunes against
+// the global incumbent published by sibling engines and publishes its
+// own improving models.
 type BranchBound struct{}
 
-var _ Solver = (*BranchBound)(nil)
+var _ ProgressSolver = (*BranchBound)(nil)
 
 // Name implements Solver.
 func (b *BranchBound) Name() string { return "branch-bound" }
@@ -31,10 +35,24 @@ type bbState struct {
 	bestCost int64
 	steps    int64
 	stats    obs.SolverStats
+
+	prog     Progress
+	globalUB int64 // cached sibling incumbent; -1 when none
+	// minPrune is the smallest bound any prune ever used. On
+	// completion the search has proven optimum ≥ min(bestCost,
+	// minPrune): when a sibling's incumbent (below our own best)
+	// pruned a branch, that branch may hide assignments cheaper than
+	// our best — but none cheaper than the bound used. -1 = no prune.
+	minPrune int64
 }
 
 // Solve implements Solver.
 func (b *BranchBound) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
+	return b.SolveWithProgress(ctx, inst, nil)
+}
+
+// SolveWithProgress implements ProgressSolver.
+func (b *BranchBound) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog Progress) (Result, error) {
 	if err := inst.Validate(); err != nil {
 		return Result{}, fmt.Errorf("maxsat: %w", err)
 	}
@@ -42,6 +60,9 @@ func (b *BranchBound) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error)
 		inst:     inst,
 		assign:   make([]int8, inst.NumVars+1),
 		bestCost: -1,
+		prog:     prog,
+		globalUB: -1,
+		minPrune: -1,
 	}
 
 	// Branch on heavier variables first: variables appearing in heavy
@@ -64,13 +85,52 @@ func (b *BranchBound) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error)
 	})
 
 	if err := st.search(ctx, 0); err != nil {
-		return Result{Stats: st.stats}, err
+		if st.best == nil {
+			return Result{Stats: st.stats}, err
+		}
+		// Anytime answer: the subtree below the incumbent is
+		// unexplored, so no lower bound is proven — only feasibility.
+		return verifyResult(inst, Result{Status: Feasible, Model: st.best, Cost: st.bestCost, Stats: st.stats})
 	}
 	if st.bestCost < 0 {
-		return Result{Status: Infeasible, Stats: st.stats}, nil
+		if st.minPrune < 0 {
+			// Exhaustive search, no prune, no model: the hard clauses
+			// admit no assignment.
+			return Result{Status: Infeasible, Stats: st.stats}, nil
+		}
+		// Every feasible assignment was cut off by a sibling's
+		// incumbent: the search only proves optimum ≥ minPrune.
+		if st.prog != nil {
+			st.prog.PublishLower(st.minPrune)
+		}
+		st.stats.RecordBound(st.stats.Decisions, st.minPrune, -1)
+		return Result{Status: Unknown, LowerBound: st.minPrune, Stats: st.stats}, nil
+	}
+	if st.minPrune >= 0 && st.minPrune < st.bestCost {
+		// Completion proves optimum ≥ minPrune but the pruning bound
+		// came from a sibling's better incumbent, so our own model is
+		// not proven optimal.
+		if st.prog != nil {
+			st.prog.PublishLower(st.minPrune)
+		}
+		st.stats.RecordBound(st.stats.Decisions, st.minPrune, st.bestCost)
+		return verifyResult(inst, Result{Status: Feasible, Model: st.best, Cost: st.bestCost, LowerBound: st.minPrune, Stats: st.stats})
+	}
+	if st.prog != nil {
+		st.prog.PublishLower(st.bestCost)
 	}
 	st.stats.RecordBound(st.stats.Decisions, st.bestCost, st.bestCost)
 	return verifyResult(inst, Result{Status: Optimal, Model: st.best, Cost: st.bestCost, Stats: st.stats})
+}
+
+// pruneBound is the effective upper bound to prune against: the lower
+// of the engine's own incumbent and the cached global one; -1 = none.
+func (st *bbState) pruneBound() int64 {
+	pb := st.bestCost
+	if st.globalUB >= 0 && (pb < 0 || st.globalUB < pb) {
+		pb = st.globalUB
+	}
+	return pb
 }
 
 // search explores assignments to order[depth:]; assign holds the current
@@ -80,6 +140,14 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 	if st.steps&511 == 0 {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
+		}
+		// Refresh the sibling incumbent at the same cadence as the
+		// cancellation check: the bound manager takes a lock, so per-node
+		// polling would serialise the portfolio.
+		if st.prog != nil {
+			if cost, ok := st.prog.BestKnown(); ok {
+				st.globalUB = cost
+			}
 		}
 	}
 
@@ -105,9 +173,15 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 		trail = append(trail, unitVar)
 	}
 
-	// Prune when already no better than the incumbent.
+	// Prune when already no better than the best incumbent (ours or a
+	// sibling's). Any assignment below this node costs at least lb, so
+	// optimum ≥ min over all prunes of the bound used — tracked in
+	// minPrune for the completion-time optimality argument.
 	lb := st.falsifiedWeight()
-	if st.bestCost >= 0 && lb >= st.bestCost {
+	if pb := st.pruneBound(); pb >= 0 && lb >= pb {
+		if st.minPrune < 0 || pb < st.minPrune {
+			st.minPrune = pb
+		}
 		undo()
 		return nil
 	}
@@ -129,6 +203,9 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 			st.best = make([]bool, st.inst.NumVars+1)
 			for v := 1; v <= st.inst.NumVars; v++ {
 				st.best[v] = st.assign[v] == 1
+			}
+			if st.prog != nil {
+				st.prog.PublishModel(cost, st.best)
 			}
 		}
 		undo()

@@ -33,6 +33,11 @@ const (
 	Optimal
 	// Infeasible means the hard clauses are unsatisfiable.
 	Infeasible
+	// Feasible means Model satisfies the hard clauses but the search
+	// ended (deadline, cancellation) before optimality was proven: Cost
+	// is an upper bound on the optimum and LowerBound a proven lower
+	// bound — the anytime answer.
+	Feasible
 )
 
 // String implements fmt.Stringer.
@@ -42,24 +47,50 @@ func (s Status) String() string {
 		return "OPTIMAL"
 	case Infeasible:
 		return "INFEASIBLE"
+	case Feasible:
+		return "FEASIBLE"
 	default:
 		return "UNKNOWN"
 	}
 }
 
+// Definitive reports whether the status settles the instance: either an
+// optimal model or a proof that none exists. Feasible and Unknown are
+// partial answers an anytime caller may still use.
+func (s Status) Definitive() bool { return s == Optimal || s == Infeasible }
+
 // Result is the outcome of a MaxSAT solve call.
 type Result struct {
 	Status Status
-	// Model is a minimum-cost assignment indexed by DIMACS variable
-	// (index 0 unused); valid only when Status is Optimal.
+	// Model is an assignment indexed by DIMACS variable (index 0
+	// unused): minimum-cost when Status is Optimal, the best incumbent
+	// found when Status is Feasible.
 	Model []bool
 	// Cost is the total weight of falsified soft clauses under Model.
 	Cost int64
+	// LowerBound is the best proven lower bound on the optimum: equal
+	// to Cost when Status is Optimal, possibly smaller when Feasible
+	// (the optimality gap), and meaningful even without a model when
+	// Status is Unknown (e.g. core-guided progress before the first
+	// model).
+	LowerBound int64
 	// Stats reports the engine's work counters and cost-bound
 	// trajectory. It is populated on every return path — including
 	// errors and interruption — so the portfolio can report what each
 	// member did even when it lost the race.
 	Stats obs.SolverStats
+}
+
+// Gap returns the optimality gap Cost − LowerBound for results carrying
+// a model (Optimal: always 0; Feasible: how far the incumbent may be
+// from the optimum), and −1 otherwise.
+func (r Result) Gap() int64 {
+	switch r.Status {
+	case Optimal, Feasible:
+		return r.Cost - r.LowerBound
+	default:
+		return -1
+	}
 }
 
 // Solver is a Weighted Partial MaxSAT engine. Implementations must not
@@ -68,18 +99,53 @@ type Result struct {
 type Solver interface {
 	// Name identifies the engine (for portfolio reports).
 	Name() string
-	// Solve computes a minimum-cost model of the instance. The context
-	// cancels long runs, in which case an error wrapping
-	// sat.ErrInterrupted is returned.
+	// Solve computes a minimum-cost model of the instance. When the
+	// context expires mid-search, engines holding a feasible incumbent
+	// return it with Status Feasible (and a nil error); engines with
+	// nothing to report return an error wrapping sat.ErrInterrupted
+	// (any proven lower bound still rides along in Result.LowerBound).
 	Solve(ctx context.Context, inst *cnf.WCNF) (Result, error)
+}
+
+// Progress is the cooperative bound channel between an engine and a
+// portfolio bound manager. Engines call PublishModel/PublishLower as
+// they improve their incumbent or proven lower bound, and read
+// BestKnown to tighten their own search against the global incumbent.
+// Implementations must be safe for concurrent use by multiple engines.
+type Progress interface {
+	// PublishModel reports a feasible model and its (verified) cost.
+	// The manager keeps it only if it improves the global incumbent.
+	// The model must not be mutated after publication.
+	PublishModel(cost int64, model []bool)
+	// PublishLower reports a proven lower bound on the optimum.
+	PublishLower(lb int64)
+	// BestKnown returns the global incumbent cost; ok is false while no
+	// model has been published.
+	BestKnown() (cost int64, ok bool)
+	// ProvenLower returns the best global proven lower bound (0 when
+	// none has been published).
+	ProvenLower() int64
+}
+
+// ProgressSolver is the optional extension interface for engines that
+// cooperate through a shared bound manager. Solve is equivalent to
+// SolveWithProgress with a nil Progress.
+type ProgressSolver interface {
+	Solver
+	// SolveWithProgress runs the engine with a cooperative bound
+	// channel; prog may be nil, in which case the engine runs
+	// standalone exactly like Solve.
+	SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog Progress) (Result, error)
 }
 
 // verifyResult recomputes the model cost against the original instance;
 // engines call it before returning so that a disagreement between the
 // engine's bookkeeping and the actual instance surfaces as an error
-// instead of a wrong answer.
+// instead of a wrong answer. It also normalises LowerBound: Optimal
+// results get LowerBound = Cost, Feasible results are clamped to
+// LowerBound ≤ Cost.
 func verifyResult(inst *cnf.WCNF, res Result) (Result, error) {
-	if res.Status != Optimal {
+	if res.Status != Optimal && res.Status != Feasible {
 		return res, nil
 	}
 	cost, err := inst.Cost(res.Model)
@@ -88,6 +154,11 @@ func verifyResult(inst *cnf.WCNF, res Result) (Result, error) {
 	}
 	if cost != res.Cost {
 		return Result{}, fmt.Errorf("maxsat: engine reported cost %d but model costs %d", res.Cost, cost)
+	}
+	if res.Status == Optimal {
+		res.LowerBound = res.Cost
+	} else if res.LowerBound > res.Cost {
+		res.LowerBound = res.Cost
 	}
 	return res, nil
 }

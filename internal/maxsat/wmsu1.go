@@ -19,6 +19,12 @@ import (
 //
 // The engine shines exactly where the MPMCS problem lives: optima that
 // falsify few soft clauses, found after a handful of small cores.
+//
+// Run cooperatively (SolveWithProgress), the engine publishes its
+// accumulated core payments as a global lower bound — each WPM1
+// transformation preserves the instance's optimum minus the payment,
+// so the running total is a sound lower bound at every step — and the
+// feasible models it finds at intermediate strata as incumbents.
 type WMSU1 struct {
 	// SatOptions configures the underlying CDCL solver.
 	SatOptions sat.Options
@@ -30,7 +36,7 @@ type WMSU1 struct {
 	Stratified bool
 }
 
-var _ Solver = (*WMSU1)(nil)
+var _ ProgressSolver = (*WMSU1)(nil)
 
 // Name implements Solver.
 func (w *WMSU1) Name() string {
@@ -50,6 +56,11 @@ type wmsu1Soft struct {
 
 // Solve implements Solver.
 func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
+	return w.SolveWithProgress(ctx, inst, nil)
+}
+
+// SolveWithProgress implements ProgressSolver.
+func (w *WMSU1) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog Progress) (Result, error) {
 	if err := inst.Validate(); err != nil {
 		return Result{}, fmt.Errorf("maxsat: %w", err)
 	}
@@ -87,12 +98,24 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 	}
 
 	var (
-		cost  int64
-		stats obs.SolverStats
+		cost     int64 // accumulated core payments: a proven lower bound
+		best     []bool
+		bestCost int64 = -1
+		stats    obs.SolverStats
 	)
+	// interrupted preserves whatever the engine has proven so far: the
+	// stratified loop's intermediate models become a Feasible answer,
+	// and the accumulated core payments ride along as the lower bound
+	// even when no model exists yet.
+	interrupted := func(err error) (Result, error) {
+		if best != nil {
+			return verifyResult(inst, Result{Status: Feasible, Model: best, Cost: bestCost, LowerBound: cost, Stats: stats})
+		}
+		return Result{LowerBound: cost, Stats: stats}, err
+	}
 	for {
 		if err := ctx.Err(); err != nil {
-			return Result{Stats: stats}, fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
+			return interrupted(fmt.Errorf("%w: %v", sat.ErrInterrupted, err))
 		}
 		assumps := make([]cnf.Lit, 0, len(softs))
 		selToIdx := make(map[cnf.Lit]int, len(softs))
@@ -106,7 +129,7 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 		status, err := s.Solve(ctx, assumps...)
 		addSATCall(&stats, s.ResetStats())
 		if err != nil {
-			return Result{Stats: stats}, err
+			return interrupted(err)
 		}
 		if status == sat.Sat {
 			// Lower the threshold geometrically (but never past the
@@ -120,10 +143,20 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 					maxInactive = soft.weight
 				}
 			}
+			model := truncateModel(s.Model(), inst.NumVars)
 			if maxInactive == 0 {
-				model := truncateModel(s.Model(), inst.NumVars)
 				stats.RecordBound(stats.SATCalls, cost, cost)
 				return verifyResult(inst, Result{Status: Optimal, Model: model, Cost: cost, Stats: stats})
+			}
+			// Intermediate stratum model: it satisfies the hard clauses,
+			// so its true cost against the original instance is a valid
+			// upper bound — the engine's anytime incumbent.
+			if ub, err := inst.Cost(model); err == nil && (bestCost < 0 || ub < bestCost) {
+				best, bestCost = model, ub
+				stats.RecordBound(stats.SATCalls, cost, ub)
+				if prog != nil {
+					prog.PublishModel(ub, model)
+				}
 			}
 			threshold = threshold / 8
 			if threshold > maxInactive {
@@ -155,8 +188,11 @@ func (w *WMSU1) Solve(ctx context.Context, inst *cnf.WCNF) (Result, error) {
 		}
 		cost += wmin
 		// Core-guided search: each core payment raises the proven lower
-		// bound; no model (upper bound) exists until the final SAT.
-		stats.RecordBound(stats.SATCalls, cost, -1)
+		// bound; the upper bound is the best intermediate model if any.
+		stats.RecordBound(stats.SATCalls, cost, bestCost)
+		if prog != nil {
+			prog.PublishLower(cost)
+		}
 
 		// Relax every core clause: C ∨ r ∨ sel' replaces it at weight
 		// wmin; the weight remainder keeps the existing clause and

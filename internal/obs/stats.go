@@ -40,6 +40,29 @@ func (s *SolverStats) RecordBound(call, lower, upper int64) {
 	s.Bounds = append(s.Bounds, BoundStep{Call: call, Lower: lower, Upper: upper})
 }
 
+// BoundTraffic counts cooperative bound-sharing events in a portfolio
+// race: how often engines published improving models and lower bounds
+// through the shared bound manager, and whether the race was closed by
+// the bounds meeting (lower ≥ upper) rather than by a single engine
+// finishing. The per-engine bound trajectories live in
+// SolverStats.Bounds; this is the cross-engine traffic summary.
+type BoundTraffic struct {
+	// ModelsPublished counts PublishModel calls across all engines.
+	ModelsPublished int64 `json:"modelsPublished"`
+	// ModelsImproved counts the publications that lowered the global
+	// upper bound (the rest arrived too late to matter).
+	ModelsImproved int64 `json:"modelsImproved"`
+	// LowerBoundsPublished counts PublishLower calls across all engines.
+	LowerBoundsPublished int64 `json:"lowerBoundsPublished"`
+	// LowerBoundsImproved counts the publications that raised the global
+	// lower bound.
+	LowerBoundsImproved int64 `json:"lowerBoundsImproved"`
+	// RaceClosedByBounds reports that the race terminated because the
+	// shared lower bound met the shared upper bound — a cooperative
+	// optimality proof no single engine completed on its own.
+	RaceClosedByBounds bool `json:"raceClosedByBounds,omitempty"`
+}
+
 // Add accumulates another run's counters into s; the bound trajectory
 // is concatenated. Useful for aggregating across portfolio members or
 // successive analyses.

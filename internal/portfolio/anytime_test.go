@@ -1,0 +1,210 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/maxsat"
+)
+
+// hardVertexCover encodes minimum vertex cover of the cycle C_n (hard
+// (u ∨ v) per edge, soft (¬v) of weight 1 per vertex): optimum (n+1)/2
+// for odd n, far beyond what any engine finishes in a few milliseconds
+// once n reaches the hundreds.
+func hardVertexCover(n int) *cnf.WCNF {
+	var w cnf.WCNF
+	w.NumVars = n
+	for v := 1; v <= n; v++ {
+		w.AddHard(cnf.Lit(v), cnf.Lit(v%n+1))
+	}
+	for v := 1; v <= n; v++ {
+		w.AddSoft(1, -cnf.Lit(v))
+	}
+	return &w
+}
+
+// TestSolveDeadlineAnytime is the tentpole's acceptance scenario: a
+// hard instance under a 100ms deadline must yield a sound anytime
+// answer — model verified against the instance, finite optimality gap,
+// no error, no empty result — and every goroutine must be reaped before
+// Solve returns.
+func TestSolveDeadlineAnytime(t *testing.T) {
+	const n, optimum = 301, 151
+	inst := hardVertexCover(n)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	res, report, err := Solve(ctx, inst, DefaultEngines())
+	if err != nil {
+		t.Fatalf("deadline run must synthesize an anytime answer, got error: %v", err)
+	}
+	if res.Status != maxsat.Feasible && res.Status != maxsat.Optimal {
+		t.Fatalf("status %v, want FEASIBLE (or cooperatively-proven OPTIMAL)", res.Status)
+	}
+	if res.Model == nil {
+		t.Fatal("anytime answer carries no model")
+	}
+	cost, cerr := inst.Cost(res.Model)
+	if cerr != nil {
+		t.Fatalf("anytime model violates a hard clause: %v", cerr)
+	}
+	if cost != res.Cost {
+		t.Fatalf("reported cost %d, model costs %d", res.Cost, cost)
+	}
+	if res.Cost < optimum {
+		t.Fatalf("anytime cost %d beats the true optimum %d", res.Cost, optimum)
+	}
+	if res.LowerBound > optimum {
+		t.Fatalf("proven lower bound %d exceeds the true optimum %d", res.LowerBound, optimum)
+	}
+	if gap := res.Gap(); gap < 0 {
+		t.Fatalf("gap %d, want finite (cost %d, lb %d)", gap, res.Cost, res.LowerBound)
+	}
+	if report.Winner == "" {
+		t.Error("no winner attributed for the anytime answer")
+	}
+	if report.WinnerReport() == nil {
+		t.Error("WinnerReport missing for the anytime winner")
+	}
+
+	// Solve awaits its engines before returning; allow the runtime a
+	// moment to retire exiting goroutines, then require no leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked past Solve: %d before, %d after", before, after)
+	}
+}
+
+// TestSolveDeadlineNoIncumbent: when every engine dies of the parent
+// deadline with nothing to report, Solve must return the parent
+// context's error (wrapped) and classify the engines as cancelled, not
+// failed.
+func TestSolveDeadlineNoIncumbent(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	engines := []Engine{
+		{Name: "slow-1", Solver: slowSolver{}},
+		{Name: "slow-2", Solver: slowSolver{}},
+	}
+	_, report, err := Solve(ctx, smallInstance(), engines)
+	if err == nil {
+		t.Fatal("expected an error when no engine produced anything")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error should wrap the parent deadline: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no anytime answer") {
+		t.Errorf("error should say nothing was available: %v", err)
+	}
+	for _, rep := range report.Engines {
+		if !rep.Cancelled {
+			t.Errorf("engine %s classified as failed, want cancelled: %+v", rep.Name, rep)
+		}
+	}
+}
+
+// publishingSolver is a fake cooperative engine: it publishes a fixed
+// model and/or lower bound, then blocks until the race cancels it and
+// returns its partial answer.
+type publishingSolver struct {
+	name  string
+	cost  int64
+	model []bool
+	lower int64
+}
+
+var _ maxsat.ProgressSolver = (*publishingSolver)(nil)
+
+func (p *publishingSolver) Name() string { return p.name }
+
+func (p *publishingSolver) Solve(ctx context.Context, inst *cnf.WCNF) (maxsat.Result, error) {
+	return p.SolveWithProgress(ctx, inst, nil)
+}
+
+func (p *publishingSolver) SolveWithProgress(ctx context.Context, _ *cnf.WCNF, prog maxsat.Progress) (maxsat.Result, error) {
+	if prog != nil {
+		if p.model != nil {
+			prog.PublishModel(p.cost, p.model)
+		}
+		if p.lower > 0 {
+			prog.PublishLower(p.lower)
+		}
+	}
+	<-ctx.Done()
+	if p.model != nil {
+		return maxsat.Result{Status: maxsat.Feasible, Model: p.model, Cost: p.cost, LowerBound: p.lower}, nil
+	}
+	return maxsat.Result{LowerBound: p.lower}, ctx.Err()
+}
+
+// TestSolveCooperativeBoundsClose: one engine holds the optimal model,
+// another proves the matching lower bound; neither alone is definitive,
+// but the shared bound manager closes the race and Solve synthesizes a
+// cooperatively-proven Optimal.
+func TestSolveCooperativeBoundsClose(t *testing.T) {
+	// smallInstance optimum: x1=x2=true, x3=false, cost 5.
+	model := []bool{false, true, true, false}
+	engines := []Engine{
+		{Name: "modeler", Solver: &publishingSolver{name: "modeler", cost: 5, model: model}},
+		{Name: "prover", Solver: &publishingSolver{name: "prover", lower: 5}},
+	}
+	res, report, err := Solve(context.Background(), smallInstance(), engines)
+	if err != nil {
+		t.Fatalf("cooperative close returned error: %v", err)
+	}
+	if res.Status != maxsat.Optimal || res.Cost != 5 || res.LowerBound != 5 {
+		t.Fatalf("got %v cost %d lb %d, want OPTIMAL 5/5", res.Status, res.Cost, res.LowerBound)
+	}
+	if report.Winner != "modeler" {
+		t.Errorf("winner %q, want the incumbent holder", report.Winner)
+	}
+	if !report.Coop.RaceClosedByBounds {
+		t.Error("Coop.RaceClosedByBounds not set")
+	}
+	if report.Coop.ModelsPublished == 0 || report.Coop.LowerBoundsPublished == 0 {
+		t.Errorf("cooperative traffic not recorded: %+v", report.Coop)
+	}
+	for _, rep := range report.Engines {
+		if rep.Completed {
+			t.Errorf("engine %s marked completed without a definitive answer", rep.Name)
+		}
+		if !rep.Cancelled || !strings.Contains(rep.Err, "shared bounds") {
+			t.Errorf("engine %s should be cancelled by the bounds close: %+v", rep.Name, rep)
+		}
+	}
+}
+
+// TestSolveDeadlineStressNoBoundRaise runs short-deadline cooperative
+// races over a spread of instances: a budget bound being raised (the
+// bug class the lockstep curBound mirroring prevents) would surface
+// here as a "tighten bound"/"cannot raise" engine error.
+func TestSolveDeadlineStressNoBoundRaise(t *testing.T) {
+	for _, n := range []int{51, 101, 151, 201, 301} {
+		inst := hardVertexCover(n)
+		ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+		res, report, err := Solve(ctx, inst, DefaultEngines())
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("C_%d: unexpected error: %v", n, err)
+		}
+		for _, rep := range report.Engines {
+			if strings.Contains(rep.Err, "bound") && !strings.Contains(rep.Err, "shared bounds") {
+				t.Fatalf("C_%d: engine %s hit a budget-bound error: %s", n, rep.Name, rep.Err)
+			}
+		}
+		if err == nil && res.Model != nil {
+			if cost, cerr := inst.Cost(res.Model); cerr != nil || cost != res.Cost {
+				t.Fatalf("C_%d: unsound anytime model: cost %d vs %d, err %v", n, cost, res.Cost, cerr)
+			}
+		}
+	}
+}

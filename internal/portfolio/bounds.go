@@ -1,0 +1,152 @@
+package portfolio
+
+import (
+	"sync"
+
+	"mpmcs4fta/internal/maxsat"
+	"mpmcs4fta/internal/obs"
+)
+
+// Bounds is the shared bound manager of a cooperative portfolio race:
+// one global incumbent (the cheapest published model and its cost — the
+// upper bound on the optimum) and one global proven lower bound,
+// written and read concurrently by every engine through the
+// maxsat.Progress views handed out by ForEngine. When the lower bound
+// meets the upper bound the optimum is pinned, so the manager fires its
+// close callback once — the portfolio uses it to cancel the remaining
+// engines and synthesize an Optimal answer no single member proved
+// alone.
+//
+// Bounds only ever tightens: the upper bound monotonically decreases,
+// the lower bound monotonically increases. In particular an engine
+// reading BestKnown can never be handed a looser bound than one it saw
+// before — which is what makes feeding the value into
+// sat.SetBudgetBound (which rejects raising) safe.
+type Bounds struct {
+	mu      sync.Mutex
+	ubSet   bool
+	ub      int64
+	model   []bool
+	owner   string // engine that published the incumbent
+	lb      int64
+	closed  bool
+	onClose func()
+	traffic obs.BoundTraffic
+}
+
+// NewBounds returns an empty bound manager. onClose (may be nil) is
+// called exactly once, without the internal lock held, when the proven
+// lower bound reaches the incumbent's cost.
+func NewBounds(onClose func()) *Bounds {
+	return &Bounds{onClose: onClose}
+}
+
+// publishModel records a feasible model if it improves the incumbent.
+func (b *Bounds) publishModel(owner string, cost int64, model []bool) {
+	b.mu.Lock()
+	b.traffic.ModelsPublished++
+	if !b.ubSet || cost < b.ub {
+		b.ubSet = true
+		b.ub = cost
+		b.model = model
+		b.owner = owner
+		b.traffic.ModelsImproved++
+	}
+	fire := b.checkMeetLocked()
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// publishLower records a proven lower bound if it improves the global
+// one.
+func (b *Bounds) publishLower(lb int64) {
+	b.mu.Lock()
+	b.traffic.LowerBoundsPublished++
+	if lb > b.lb {
+		b.lb = lb
+		b.traffic.LowerBoundsImproved++
+	}
+	fire := b.checkMeetLocked()
+	b.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// checkMeetLocked detects the bounds meeting and arms the one-shot
+// close callback; the caller invokes the returned function after
+// releasing the lock.
+func (b *Bounds) checkMeetLocked() func() {
+	if b.closed || !b.ubSet || b.lb < b.ub {
+		return nil
+	}
+	b.closed = true
+	b.traffic.RaceClosedByBounds = true
+	return b.onClose
+}
+
+// BestKnown returns the global incumbent cost; ok is false while no
+// model has been published.
+func (b *Bounds) BestKnown() (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ub, b.ubSet
+}
+
+// ProvenLower returns the best global proven lower bound (0 when none
+// has been published).
+func (b *Bounds) ProvenLower() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lb
+}
+
+// BestModel returns the incumbent model, its cost and the engine that
+// published it; ok is false while no model has been published.
+func (b *Bounds) BestModel() (owner string, cost int64, model []bool, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.owner, b.ub, b.model, b.ubSet
+}
+
+// Closed reports whether the lower bound has met the upper bound.
+func (b *Bounds) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Traffic returns a snapshot of the cooperative traffic counters.
+func (b *Bounds) Traffic() obs.BoundTraffic {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.traffic
+}
+
+// ForEngine returns the named engine's view of the manager: a
+// maxsat.Progress whose publications are attributed to that engine.
+func (b *Bounds) ForEngine(name string) maxsat.Progress {
+	return engineProgress{bounds: b, name: name}
+}
+
+// engineProgress tags one engine's Progress calls with its name.
+type engineProgress struct {
+	bounds *Bounds
+	name   string
+}
+
+var _ maxsat.Progress = engineProgress{}
+
+func (p engineProgress) PublishModel(cost int64, model []bool) {
+	p.bounds.publishModel(p.name, cost, model)
+}
+
+func (p engineProgress) PublishLower(lb int64) {
+	p.bounds.publishLower(lb)
+}
+
+func (p engineProgress) BestKnown() (int64, bool) { return p.bounds.BestKnown() }
+
+func (p engineProgress) ProvenLower() int64 { return p.bounds.ProvenLower() }

@@ -5,10 +5,20 @@
 // good at some instances and not that good at others"; running a diverse
 // portfolio gives stable behaviour across instance families.
 //
+// The race is cooperative: a shared bound manager (Bounds) relays every
+// engine's improving models and proven lower bounds to its siblings, so
+// LinearSU tightens its budget from the global incumbent, BranchBound
+// prunes against it, and WMSU1's core payments raise a global lower
+// bound. When the global lower bound meets the global upper bound the
+// race stops early with a cooperatively-proven Optimal. When a deadline
+// expires first, Solve synthesizes the best anytime answer (Status
+// Feasible, with an optimality gap) instead of failing.
+//
 // Observability: when the caller's context carries a tracing span (see
 // obs.ContextWithSpan), Solve records one child span per engine with
 // the engine's solver counters, and every EngineReport carries the
 // engine's obs.SolverStats — including losers and cancelled members.
+// Report.Coop summarises the cross-engine bound traffic.
 package portfolio
 
 import (
@@ -49,10 +59,18 @@ type EngineReport struct {
 	Name      string
 	Elapsed   time.Duration
 	Completed bool // finished with a definitive answer
-	// Cancelled marks an engine that was stopped because a sibling won
-	// the race — not a real failure. Err still names the interruption.
+	// Cancelled marks an engine that was stopped by the race — a
+	// sibling won, the shared bounds met, or the parent context expired
+	// — not a real failure. Err names the cause.
 	Cancelled bool
 	Err       string // non-empty when the engine failed or was cancelled
+	// Status is the engine's own answer (Feasible for an anytime
+	// incumbent returned on cancellation, Unknown when it had nothing).
+	Status maxsat.Status
+	// Cost is the engine's model cost (valid when Status is Optimal or
+	// Feasible); LowerBound its proven lower bound on the optimum.
+	Cost       int64
+	LowerBound int64
 	// Stats reports the engine's solver counters and bound trajectory,
 	// populated for winners, losers and cancelled members alike.
 	Stats obs.SolverStats
@@ -60,21 +78,27 @@ type EngineReport struct {
 
 // Report summarises a portfolio run.
 type Report struct {
+	// Winner names the engine whose model the returned Result carries:
+	// the first definitively-finished engine, or — for anytime and
+	// cooperatively-proven answers — the engine holding the best
+	// incumbent. Empty when the run produced no model.
 	Winner string
 	// Elapsed is the time to the first definitive answer, or the total
 	// run time when every engine failed. It is always set.
 	Elapsed time.Duration
 	Engines []EngineReport
+	// Coop summarises the cooperative bound traffic between engines.
+	Coop obs.BoundTraffic
 }
 
-// WinnerReport returns the report of the winning engine, or nil when
-// no engine completed.
+// WinnerReport returns the report of the engine named by Winner, or nil
+// when no engine produced the result.
 func (r *Report) WinnerReport() *EngineReport {
 	if r.Winner == "" {
 		return nil
 	}
 	for i := range r.Engines {
-		if r.Engines[i].Name == r.Winner && r.Engines[i].Completed {
+		if r.Engines[i].Name == r.Winner {
 			return &r.Engines[i]
 		}
 	}
@@ -92,26 +116,38 @@ func cancelledBySibling(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
-// Solve runs all engines concurrently on (copies of) the instance and
-// returns the first definitive result; the remaining engines are
-// cancelled and awaited before returning, so no goroutines outlive the
-// call. When every engine fails, the first error is returned.
+// Solve runs all engines concurrently on (copies of) the instance,
+// cooperating through a shared bound manager, and returns the first
+// definitive result; the remaining engines are cancelled and awaited
+// before returning, so no goroutines outlive the call.
+//
+// When no engine finishes definitively — deadline, cancellation, or the
+// shared bounds meeting first — Solve synthesizes the best anytime
+// answer: the cheapest incumbent any engine returned, upgraded to
+// Optimal when the global lower bound proves it, otherwise Feasible
+// with the bound gap. Only when there is nothing to report does it
+// return an error: the parent context's error when the run was cut
+// short, or the first engine failure otherwise.
 func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result, Report, error) {
 	if len(engines) == 0 {
 		return maxsat.Result{}, Report{}, ErrNoEngines
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	bounds := NewBounds(cancel)
 
 	parent := obs.SpanFromContext(ctx)
 
 	type outcome struct {
-		index   int
 		result  maxsat.Result
 		err     error
 		elapsed time.Duration
 	}
-	results := make(chan outcome, len(engines))
+	type indexed struct {
+		index int
+		outcome
+	}
+	results := make(chan indexed, len(engines))
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -121,9 +157,9 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 		go func(index int, e Engine, copyInst *cnf.WCNF, span obs.Span) {
 			defer wg.Done()
 			t0 := time.Now()
-			res, err := solveIsolated(runCtx, e.Solver, copyInst)
+			res, err := solveIsolated(runCtx, e.Solver, copyInst, bounds.ForEngine(e.Name))
 			recordEngineSpan(span, res, err)
-			results <- outcome{index: index, result: res, err: err, elapsed: time.Since(t0)}
+			results <- indexed{index: index, outcome: outcome{result: res, err: err, elapsed: time.Since(t0)}}
 		}(i, engine, inst.Clone(), span)
 	}
 
@@ -132,45 +168,117 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 		report.Engines[i] = EngineReport{Name: e.Name}
 	}
 
-	var (
-		winner   *outcome
-		firstErr error
-	)
+	outcomes := make([]*outcome, len(engines))
+	winner := -1
 	for received := 0; received < len(engines); received++ {
-		out := <-results
-		rep := &report.Engines[out.index]
-		rep.Elapsed = out.elapsed
-		rep.Stats = out.result.Stats
-		switch {
-		case out.err != nil:
-			rep.Err = out.err.Error()
-			// Interruptions that arrive after a sibling already won are
-			// the race's own cancel signal, not engine failures.
-			if winner != nil && cancelledBySibling(out.err) {
-				rep.Cancelled = true
-				rep.Err = "cancelled: sibling engine won: " + rep.Err
-			} else if firstErr == nil {
-				firstErr = fmt.Errorf("portfolio: engine %s: %w", engines[out.index].Name, out.err)
-			}
-		default:
-			rep.Completed = true
-			if winner == nil {
-				win := out
-				winner = &win
-				report.Winner = engines[out.index].Name
-				report.Elapsed = time.Since(start)
-				cancel() // stop the stragglers
-			}
+		ind := <-results
+		out := ind.outcome
+		outcomes[ind.index] = &out
+		if out.err == nil && out.result.Status.Definitive() && winner < 0 {
+			winner = ind.index
+			report.Winner = engines[ind.index].Name
+			report.Elapsed = time.Since(start)
+			cancel() // stop the stragglers
 		}
 	}
 	wg.Wait()
 	close(results)
-
-	if winner == nil {
+	report.Coop = bounds.Traffic()
+	if report.Elapsed == 0 {
 		report.Elapsed = time.Since(start)
-		return maxsat.Result{}, report, firstErr
 	}
-	return winner.result, report, nil
+
+	// Classify every member now that the race's end cause is known.
+	boundsClosed := bounds.Closed()
+	parentDead := ctx.Err() != nil
+	var firstErr error
+	for i, out := range outcomes {
+		rep := &report.Engines[i]
+		rep.Elapsed = out.elapsed
+		rep.Stats = out.result.Stats
+		rep.Status = out.result.Status
+		rep.Cost = out.result.Cost
+		rep.LowerBound = out.result.LowerBound
+		if out.err == nil {
+			if out.result.Status.Definitive() {
+				rep.Completed = true
+				continue
+			}
+			// A partial answer (Feasible incumbent or Unknown): the
+			// engine was stopped by the race, not broken.
+			if winner >= 0 || boundsClosed || parentDead {
+				rep.Cancelled = true
+				rep.Err = cancelCause(winner >= 0, boundsClosed, parentDead)
+			}
+			continue
+		}
+		rep.Err = out.err.Error()
+		if cancelledBySibling(out.err) && (winner >= 0 || boundsClosed || parentDead) {
+			rep.Cancelled = true
+			rep.Err = cancelCause(winner >= 0, boundsClosed, parentDead) + ": " + rep.Err
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("portfolio: engine %s: %w", engines[i].Name, out.err)
+		}
+	}
+
+	if winner >= 0 {
+		return outcomes[winner].result, report, nil
+	}
+
+	// No definitive answer: synthesize the best anytime one. Engines
+	// returning Feasible have verified their incumbents; the global
+	// proven lower bound (core payments, completed-but-pruned searches)
+	// tightens the gap, possibly all the way to a cooperative Optimal.
+	best := -1
+	for i, out := range outcomes {
+		if out.err != nil || out.result.Status != maxsat.Feasible {
+			continue
+		}
+		if best < 0 || out.result.Cost < outcomes[best].result.Cost {
+			best = i
+		}
+	}
+	glb := bounds.ProvenLower()
+	if best >= 0 {
+		res := outcomes[best].result
+		if glb > res.LowerBound {
+			res.LowerBound = glb
+		}
+		if res.LowerBound >= res.Cost {
+			// The global lower bound pins the incumbent: optimal, proven
+			// jointly by the portfolio.
+			res.LowerBound = res.Cost
+			res.Status = maxsat.Optimal
+		}
+		report.Winner = engines[best].Name
+		return res, report, nil
+	}
+
+	if firstErr != nil {
+		return maxsat.Result{LowerBound: glb}, report, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return maxsat.Result{LowerBound: glb}, report, fmt.Errorf("portfolio: no anytime answer before cancellation: %w", err)
+	}
+	// Engines finished without error, model or proof (possible only in
+	// degenerate cooperative schedules).
+	return maxsat.Result{LowerBound: glb}, report, errors.New("portfolio: no engine produced an answer")
+}
+
+// cancelCause names why the race stopped an engine, in precedence
+// order: a sibling's definitive win, the shared bounds meeting, the
+// parent context expiring.
+func cancelCause(siblingWon, boundsClosed, parentDead bool) string {
+	switch {
+	case siblingWon:
+		return "cancelled: sibling engine won"
+	case boundsClosed:
+		return "cancelled: race closed by shared bounds"
+	case parentDead:
+		return "cancelled: parent context expired"
+	default:
+		return "cancelled"
+	}
 }
 
 // recordEngineSpan attaches an engine's counters to its trace span.
@@ -188,8 +296,9 @@ func recordEngineSpan(span obs.Span, res maxsat.Result, err error) {
 		}
 		if err != nil {
 			span.SetString("err", err.Error())
-		} else if res.Status == maxsat.Optimal {
+		} else if res.Status == maxsat.Optimal || res.Status == maxsat.Feasible {
 			span.SetInt("cost", res.Cost)
+			span.SetInt("lowerBound", res.LowerBound)
 		}
 	}
 	span.End()
@@ -197,20 +306,27 @@ func recordEngineSpan(span obs.Span, res maxsat.Result, err error) {
 
 // solveIsolated converts a panicking engine into an error so a bug in
 // one portfolio member cannot take down the race (the other engines
-// keep running and the caller still gets an answer).
-func solveIsolated(ctx context.Context, s maxsat.Solver, inst *cnf.WCNF) (res maxsat.Result, err error) {
+// keep running and the caller still gets an answer). Engines
+// implementing maxsat.ProgressSolver receive the cooperative bound
+// channel; the rest run standalone.
+func solveIsolated(ctx context.Context, s maxsat.Solver, inst *cnf.WCNF, prog maxsat.Progress) (res maxsat.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = maxsat.Result{}
 			err = fmt.Errorf("portfolio: engine panicked: %v", r)
 		}
 	}()
+	if ps, ok := s.(maxsat.ProgressSolver); ok && prog != nil {
+		return ps.SolveWithProgress(ctx, inst, prog)
+	}
 	return s.Solve(ctx, inst)
 }
 
 // SolveSequential runs the engines one at a time in order and returns
 // the first definitive answer. It exists for deterministic tests and
-// single-threaded benchmarking of individual engines.
+// single-threaded benchmarking of individual engines. Like Solve it
+// falls back to the best anytime incumbent when no engine finishes
+// definitively (e.g. under a deadline).
 func SolveSequential(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result, Report, error) {
 	if len(engines) == 0 {
 		return maxsat.Result{}, Report{}, ErrNoEngines
@@ -219,26 +335,66 @@ func SolveSequential(ctx context.Context, inst *cnf.WCNF, engines []Engine) (max
 	report := Report{Engines: make([]EngineReport, len(engines))}
 	start := time.Now()
 	var firstErr error
+	best := maxsat.Result{Status: maxsat.Unknown}
+	bestEngine := ""
 	for i, engine := range engines {
 		report.Engines[i] = EngineReport{Name: engine.Name}
 		span := parent.StartSpan("engine:" + engine.Name)
 		t0 := time.Now()
 		res, err := engine.Solver.Solve(ctx, inst.Clone())
 		recordEngineSpan(span, res, err)
-		report.Engines[i].Elapsed = time.Since(t0)
-		report.Engines[i].Stats = res.Stats
+		rep := &report.Engines[i]
+		rep.Elapsed = time.Since(t0)
+		rep.Stats = res.Stats
+		rep.Status = res.Status
+		rep.Cost = res.Cost
+		rep.LowerBound = res.LowerBound
+		if res.LowerBound > best.LowerBound {
+			best.LowerBound = res.LowerBound
+		}
 		if err != nil {
-			report.Engines[i].Err = err.Error()
-			if firstErr == nil {
+			rep.Err = err.Error()
+			if cancelledBySibling(err) && ctx.Err() != nil {
+				rep.Cancelled = true
+				rep.Err = "cancelled: parent context expired: " + rep.Err
+			} else if firstErr == nil {
 				firstErr = fmt.Errorf("portfolio: engine %s: %w", engine.Name, err)
 			}
 			continue
 		}
-		report.Engines[i].Completed = true
-		report.Winner = engine.Name
-		report.Elapsed = time.Since(start)
-		return res, report, nil
+		if res.Status.Definitive() {
+			rep.Completed = true
+			report.Winner = engine.Name
+			report.Elapsed = time.Since(start)
+			return res, report, nil
+		}
+		rep.Cancelled = ctx.Err() != nil
+		if rep.Cancelled {
+			rep.Err = "cancelled: parent context expired"
+		}
+		if res.Status == maxsat.Feasible && (best.Status != maxsat.Feasible || res.Cost < best.Cost) {
+			lb := best.LowerBound
+			best = res
+			if lb > best.LowerBound {
+				best.LowerBound = lb
+			}
+			bestEngine = engine.Name
+		}
 	}
 	report.Elapsed = time.Since(start)
-	return maxsat.Result{}, report, firstErr
+	if best.Status == maxsat.Feasible {
+		if best.LowerBound >= best.Cost {
+			best.LowerBound = best.Cost
+			best.Status = maxsat.Optimal
+		}
+		report.Winner = bestEngine
+		return best, report, nil
+	}
+	if firstErr != nil {
+		return maxsat.Result{LowerBound: best.LowerBound}, report, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return maxsat.Result{LowerBound: best.LowerBound}, report, fmt.Errorf("portfolio: no anytime answer before cancellation: %w", err)
+	}
+	return maxsat.Result{LowerBound: best.LowerBound}, report, errors.New("portfolio: no engine produced an answer")
 }

@@ -60,6 +60,51 @@ func TestBudgetValidation(t *testing.T) {
 	}
 }
 
+func TestBudgetWeightOverflowRejected(t *testing.T) {
+	s := New(2, Options{})
+	err := s.SetBudget([]cnf.Lit{1, 2}, []int64{1 << 62, 1 << 62}, 5)
+	if err == nil {
+		t.Fatal("total weight 2^63 accepted; the budget sum wrapped int64")
+	}
+}
+
+func TestBudgetRefreshOnlyLowers(t *testing.T) {
+	ctx := context.Background()
+	// x1 ∨ x2, weights 5 and 3: minimum cost 3.
+	build := func(bound int64) *Solver {
+		s := New(2, Options{})
+		s.AddClause(1, 2)
+		if err := s.SetBudget([]cnf.Lit{1, 2}, []int64{5, 3}, bound); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// A refresh tightening the bound below the optimum flips the answer
+	// to Unsat even though the initial bound admits a model.
+	s := build(7)
+	s.SetBudgetRefresh(func() (int64, bool) { return 2, true })
+	status, err := s.Solve(ctx)
+	if err != nil || status != Unsat {
+		t.Errorf("refresh to 2: want UNSAT, got %v, %v", status, err)
+	}
+	if got := s.BudgetBound(); got != 2 {
+		t.Errorf("budget bound after refresh: got %d, want 2", got)
+	}
+
+	// A refresh offering a looser bound must be ignored: the bound never
+	// rises, so an Unsat-proving bound stays proving.
+	s = build(2)
+	s.SetBudgetRefresh(func() (int64, bool) { return 10, true })
+	status, err = s.Solve(ctx)
+	if err != nil || status != Unsat {
+		t.Errorf("refresh to 10 over bound 2: want UNSAT, got %v, %v", status, err)
+	}
+	if got := s.BudgetBound(); got != 2 {
+		t.Errorf("budget bound was raised by refresh: got %d, want 2", got)
+	}
+}
+
 func TestBudgetSimple(t *testing.T) {
 	ctx := context.Background()
 	// x1 ∨ x2, weights 5 and 3 on the positive literals.

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"mpmcs4fta/internal/cnf"
 )
@@ -126,11 +128,12 @@ type Solver struct {
 	maxLearnts float64
 
 	// Budget propagator state (see SetBudget).
-	budgetWeight []int64 // by lit; 0 when not budgeted
-	budgetLits   []lit   // budgeted literals, sorted by descending weight
-	budgetBound  int64
-	budgetSum    int64 // weight of currently-true budgeted literals
-	hasBudget    bool
+	budgetWeight  []int64 // by lit; 0 when not budgeted
+	budgetLits    []lit   // budgeted literals, sorted by descending weight
+	budgetBound   int64
+	budgetSum     int64 // weight of currently-true budgeted literals
+	hasBudget     bool
+	budgetRefresh func() (int64, bool)
 
 	stats Stats
 }
@@ -306,10 +309,15 @@ func (s *Solver) SetBudget(lits []cnf.Lit, weights []int64, bound int64) error {
 		s.budgetWeight[i] = 0
 	}
 	s.budgetLits = s.budgetLits[:0]
+	var total int64
 	for i, dl := range lits {
 		if weights[i] <= 0 {
 			return fmt.Errorf("sat: budget weight %d must be positive", weights[i])
 		}
+		if weights[i] > math.MaxInt64-total {
+			return fmt.Errorf("sat: total budget weight overflows int64 at literal %d", i)
+		}
+		total += weights[i]
 		l := fromDimacs(dl)
 		if s.budgetWeight[l] != 0 {
 			return fmt.Errorf("sat: duplicate budget literal %v", dl)
@@ -339,6 +347,34 @@ func (s *Solver) SetBudgetBound(bound int64) error {
 	}
 	s.budgetBound = bound
 	return nil
+}
+
+// SetBudgetRefresh installs a callback polled between restarts during
+// Solve. When it returns (bound, true) with bound strictly below the
+// current budget bound, the bound is tightened in place — the mechanism
+// by which a cooperative portfolio feeds a sibling engine's better
+// incumbent into an in-flight search. Bounds that would raise the
+// current one are ignored (see SetBudgetBound): the search may hold
+// learnt clauses derived from the tighter constraint. The callback runs
+// on the solving goroutine; it must synchronise any shared state itself.
+func (s *Solver) SetBudgetRefresh(f func() (int64, bool)) {
+	s.budgetRefresh = f
+}
+
+// BudgetBound returns the current budget bound. It is only meaningful
+// after SetBudget.
+func (s *Solver) BudgetBound() int64 { return s.budgetBound }
+
+// applyBudgetRefresh polls the refresh callback at a restart boundary
+// (decision level 0) and tightens the bound when the callback offers a
+// strictly lower one. Raising is silently skipped — never allowed.
+func (s *Solver) applyBudgetRefresh() {
+	if !s.hasBudget || s.budgetRefresh == nil {
+		return
+	}
+	if bound, ok := s.budgetRefresh(); ok && bound < s.budgetBound {
+		s.budgetBound = bound
+	}
 }
 
 func (s *Solver) recomputeBudgetSum() {
@@ -485,14 +521,25 @@ func (s *Solver) propagateAll() *clause {
 // conflict clause when the currently-true budget literals already exceed
 // the bound, and otherwise implies the negation of any unassigned
 // literal that no longer fits. Reason/conflict clauses are materialised
-// on demand; they are logically implied by the constraint, so reusing
+// eagerly; they are logically implied by the constraint, so reusing
 // them in conflict analysis is sound.
+//
+// All implications of one round share the same set of true budget
+// literals (the enqueues assign literals false, never true), so that
+// set — heavy first, with prefix weight sums — is collected once and
+// each reason is a prefix of it: without this, a zero-slack round
+// costs O(n) full scans per implied literal, quadratic overall, which
+// dominated whole solves on large equal-weight instances.
 func (s *Solver) propagateBudget() (*clause, bool) {
 	if s.budgetSum > s.budgetBound {
 		return s.budgetConflict(), false
 	}
 	slack := s.budgetBound - s.budgetSum
 	propagated := false
+	var (
+		trueNegs []lit   // negations of the true budget literals, heavy first
+		prefix   []int64 // prefix[i] = Σ weight(trueNegs[:i+1])
+	)
 	for _, l := range s.budgetLits {
 		w := s.budgetWeight[l]
 		if w <= slack {
@@ -500,11 +547,37 @@ func (s *Solver) propagateBudget() (*clause, bool) {
 			// literals fit as well.
 			break
 		}
-		if s.value(l) == lUndef {
-			reason := s.budgetReason(l.neg(), w)
-			s.uncheckedEnqueue(l.neg(), reason)
-			propagated = true
+		if s.value(l) != lUndef {
+			continue
 		}
+		if trueNegs == nil {
+			trueNegs = make([]lit, 0, 16)
+			for _, t := range s.budgetLits {
+				if s.value(t) == lTrue {
+					sum := s.budgetWeight[t]
+					if len(prefix) > 0 {
+						sum += prefix[len(prefix)-1]
+					}
+					trueNegs = append(trueNegs, t.neg())
+					prefix = append(prefix, sum)
+				}
+			}
+		}
+		// The shortest heavy-first prefix t₁…tₘ with Σweight + w > bound
+		// explains the implication ¬ℓ as the reason implied ∨ ¬t₁ ∨ … ∨ ¬tₘ.
+		need := s.budgetBound - w
+		idx := sort.Search(len(prefix), func(i int) bool { return prefix[i] > need })
+		m := idx + 1
+		if idx == len(prefix) {
+			// Only reachable when need < 0 with no true literals: the
+			// budget alone forbids ℓ, a unit reason.
+			m = 0
+		}
+		lits := make([]lit, m+1)
+		lits[0] = l.neg()
+		copy(lits[1:], trueNegs[:m])
+		s.uncheckedEnqueue(l.neg(), &clause{lits: lits})
+		propagated = true
 	}
 	return nil, propagated
 }
@@ -521,26 +594,6 @@ func (s *Solver) budgetConflict() *clause {
 			lits = append(lits, l.neg())
 			sum += s.budgetWeight[l]
 			if sum > s.budgetBound {
-				break
-			}
-		}
-	}
-	return &clause{lits: lits}
-}
-
-// budgetReason explains the implication implied (= ¬ℓ for a budget
-// literal ℓ of weight w): a subset of true budget literals t with
-// Σweight(t) + w > bound yields the implied-first reason clause
-// implied ∨ ¬t₁ ∨ … ∨ ¬tₖ.
-func (s *Solver) budgetReason(implied lit, w int64) *clause {
-	lits := []lit{implied}
-	need := s.budgetBound - w // exceed this with true literals
-	var sum int64
-	for _, t := range s.budgetLits {
-		if s.value(t) == lTrue {
-			lits = append(lits, t.neg())
-			sum += s.budgetWeight[t]
-			if sum > need {
 				break
 			}
 		}
@@ -841,6 +894,7 @@ func (s *Solver) Solve(ctx context.Context, assumptions ...cnf.Lit) (Status, err
 
 	var restarts int64
 	for {
+		s.applyBudgetRefresh()
 		limit := luby(restarts+1) * int64(s.opts.RestartBase)
 		status, err := s.search(ctx, limit)
 		if err != nil {
@@ -922,6 +976,14 @@ func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error
 				return Sat, nil
 			}
 			s.stats.Decisions++
+			// Conflict-free descents never reach the conflict-side poll
+			// above, yet with a budget each decision can trigger long
+			// propagation rounds — poll cancellation here too.
+			if s.stats.Decisions&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return Unknown, fmt.Errorf("%w: %v", ErrInterrupted, err)
+				}
+			}
 		}
 		s.newDecisionLevel()
 		s.uncheckedEnqueue(next, nil)

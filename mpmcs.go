@@ -98,6 +98,9 @@ type (
 	SolverStats = obs.SolverStats
 	// BoundStep is one point of an engine's cost-bound trajectory.
 	BoundStep = obs.BoundStep
+	// BoundTraffic counts the cooperative bound exchanges of a portfolio
+	// race (models and lower bounds published/improved, race closure).
+	BoundTraffic = obs.BoundTraffic
 )
 
 // Gate kinds.

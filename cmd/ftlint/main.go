@@ -1,0 +1,178 @@
+// Command ftlint runs the repo's domain-aware static analyzers (see
+// internal/lint): ctxpoll, weightsafe, floatcmp, guardedby, spanclose
+// and goroutinewait. It is the mechanical enforcement of the solver
+// invariants that PR 4 had to restore by hand — engine loops that
+// honor cancellation, overflow-checked weight arithmetic, epsilon
+// probability comparison, locked access to shared bound state, closed
+// trace spans and joined goroutines.
+//
+// Standalone over go package patterns:
+//
+//	ftlint ./...
+//	ftlint -json ./internal/sat ./internal/maxsat
+//	ftlint -c ctxpoll,weightsafe ./...
+//
+// or as a go vet tool (it speaks cmd/go's vet config protocol):
+//
+//	go vet -vettool=$(which ftlint) ./...
+//
+// Findings are suppressed with an auditable directive on or directly
+// above the offending line; the reason is mandatory:
+//
+//	//lint:ignore ctxpoll sift-down is bounded by the heap height
+//
+// Exit codes (matching ftdiff's contract so CI and nightly jobs can
+// tell findings from breakage): 0 no unsuppressed findings, 1 findings
+// reported, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mpmcs4fta/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// cmd/go probes vet tools with -V=full before handing them package
+	// configs; both must be answered before normal flag parsing.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Fprintf(stdout, "ftlint version v1\n")
+		return 0
+	}
+	// cmd/go also asks which analyzer flags the tool exposes; ftlint
+	// runs its full suite unconditionally in vettool mode.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetTool(args[0], stderr)
+	}
+
+	fs := flag.NewFlagSet("ftlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit machine-readable findings (schema mpmcs4fta-ftlint/v1) on stdout")
+		list    = fs.Bool("list", false, "list the analyzers and exit")
+		checks  = fs.String("c", "", "comma-separated subset of analyzers to run (default: all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ftlint [-json] [-list] [-c analyzer,...] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "ftlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset, targets, all, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "ftlint:", err)
+		return 2
+	}
+	findings := lint.Run(fset, targets, all, analyzers)
+	if *jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "ftlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runVetTool analyzes one package unit described by a cmd/go vet
+// config. Findings go to stderr in the compiler format cmd/go relays;
+// a nonzero exit marks the package as failing vet.
+func runVetTool(cfgPath string, stderr io.Writer) int {
+	cfg, fset, pkg, err := lint.LoadVetConfig(cfgPath)
+	if err != nil {
+		if cfg != nil && cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "ftlint:", err)
+		return 1
+	}
+	if err := cfg.WriteVetx(); err != nil {
+		fmt.Fprintln(stderr, "ftlint:", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	all := map[string]*lint.Package{pkg.Path: pkg}
+	findings := lint.Run(fset, []*lint.Package{pkg}, all, lint.Analyzers())
+	for _, d := range findings {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -c flag against the registered suite.
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	suite := lint.Analyzers()
+	if names == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (ftlint -list shows the suite)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// jsonReport is the -json document; the schema string versions it the
+// same way ftbench versions its benchmark artifacts.
+type jsonReport struct {
+	Schema   string            `json:"schema"`
+	Findings []lint.Diagnostic `json:"findings"`
+}
+
+func writeJSON(w io.Writer, findings []lint.Diagnostic) error {
+	if findings == nil {
+		findings = []lint.Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Schema: "mpmcs4fta-ftlint/v1", Findings: findings})
+}

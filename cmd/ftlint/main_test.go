@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldens are loaded relative to this package directory.
+const (
+	weightsGolden = "../../internal/lint/testdata/src/weights"
+	cleanPackage  = "../../internal/fp"
+)
+
+func TestVersionProbe(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errOut); code != 0 {
+		t.Fatalf("-V=full exited %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ftlint version") {
+		t.Errorf("-V=full output %q lacks a version banner", out.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"ctxpoll", "weightsafe", "floatcmp", "guardedby", "spanclose", "goroutinewait"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks analyzer %q", name)
+		}
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-c", "weightsafe", weightsGolden}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on a golden with findings, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[weightsafe]") {
+		t.Errorf("stdout lacks weightsafe findings:\n%s", out.String())
+	}
+}
+
+func TestCleanExitZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{cleanPackage}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d on a clean package, want 0 (stdout: %s, stderr: %s)",
+			code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "-c", "weightsafe", weightsGolden}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var report struct {
+		Schema   string `json:"schema"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if report.Schema != "mpmcs4fta-ftlint/v1" {
+		t.Errorf("schema = %q, want mpmcs4fta-ftlint/v1", report.Schema)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("-json reported no findings on the weightsafe golden")
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer != "weightsafe" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", cleanPackage}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), `"findings": []`) {
+		t.Errorf("clean -json output must carry an empty findings array, got:\n%s", out.String())
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-c", "nosuchanalyzer", cleanPackage},
+		{"./does/not/exist"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2", args, code)
+		}
+	}
+}
+
+// TestVetToolProtocol builds the real binary and drives it through
+// cmd/go, proving the -vettool integration end to end: a clean package
+// passes, a golden full of violations fails with the findings relayed.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "ftlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/fp")
+	vet.Dir = repoRoot
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool on a clean package failed: %v\n%s", err, out)
+	}
+
+	vet = exec.Command("go", "vet", "-vettool="+bin, "./internal/lint/testdata/src/weights")
+	vet.Dir = repoRoot
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on the weightsafe golden passed, want failure:\n%s", out)
+	}
+	if _, isExit := err.(*exec.ExitError); !isExit {
+		t.Fatalf("go vet did not run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "unchecked") {
+		t.Errorf("go vet output lacks the relayed weightsafe findings:\n%s", out)
+	}
+}

@@ -61,8 +61,10 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	//lint:ignore weightsafe TotalSoftWeight saturates at MaxInt64-1, so the +1 top weight cannot overflow
+	top := inst.TotalSoftWeight() + 1
 	fmt.Fprintf(stdout, "c wpms: %d vars, %d hard, %d soft, top weight %d\n",
-		inst.NumVars, len(inst.Hard), len(inst.Soft), inst.TotalSoftWeight()+1)
+		inst.NumVars, len(inst.Hard), len(inst.Soft), top)
 
 	ctx := context.Background()
 	if *timeout > 0 {

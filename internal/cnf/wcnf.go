@@ -57,11 +57,19 @@ func (w *WCNF) growVars(clause Clause) {
 	}
 }
 
-// TotalSoftWeight returns the sum of all soft weights.
+// TotalSoftWeight returns the sum of all soft weights, saturating at
+// maxTotalSoftWeight. Validated instances are always below the cap, so
+// saturation only triggers for programmatically built instances that
+// would previously wrap int64 silently; the cap keeps the classic WCNF
+// "top" weight (total+1) representable either way.
 func (w *WCNF) TotalSoftWeight() int64 {
 	var total int64
 	for _, s := range w.Soft {
-		total += s.Weight
+		sum, ok := AddWeights(total, s.Weight)
+		if !ok || sum > maxTotalSoftWeight {
+			return maxTotalSoftWeight
+		}
+		total = sum
 	}
 	return total
 }
@@ -88,7 +96,11 @@ func (w *WCNF) Cost(assign []bool) (int64, error) {
 			}
 		}
 		if !satisfied {
-			cost += s.Weight
+			sum, okAdd := AddWeights(cost, s.Weight)
+			if !okAdd {
+				return 0, fmt.Errorf("cnf: falsified soft weight overflows int64 (run Validate to reject such instances up front)")
+			}
+			cost = sum
 		}
 	}
 	return cost, nil
@@ -134,10 +146,11 @@ func (w *WCNF) Validate() error {
 		if s.Weight <= 0 {
 			return fmt.Errorf("cnf: soft clause %d has non-positive weight %d", i, s.Weight)
 		}
-		if s.Weight > maxTotalSoftWeight-total {
+		sum, ok := AddWeights(total, s.Weight)
+		if !ok || sum > maxTotalSoftWeight {
 			return fmt.Errorf("cnf: total soft weight overflows int64 at clause %d (weight %d)", i, s.Weight)
 		}
-		total += s.Weight
+		total = sum
 	}
 	return nil
 }
@@ -145,6 +158,7 @@ func (w *WCNF) Validate() error {
 // WriteWCNF writes the instance in the classic DIMACS WCNF format
 // ("p wcnf nvars nclauses top"), where hard clauses carry the top weight.
 func (w *WCNF) WriteWCNF(out io.Writer) error {
+	//lint:ignore weightsafe TotalSoftWeight saturates at MaxInt64-1, so the +1 top weight cannot overflow
 	top := w.TotalSoftWeight() + 1
 	bw := bufio.NewWriter(out)
 	fmt.Fprintf(bw, "p wcnf %d %d %d\n", w.NumVars, len(w.Hard)+len(w.Soft), top)
@@ -233,10 +247,11 @@ func ReadWCNF2022(r io.Reader) (*WCNF, error) {
 		if err != nil || weight <= 0 {
 			return nil, fmt.Errorf("cnf: line %d: bad weight %q", lineNo, fields[0])
 		}
-		if weight > maxTotalSoftWeight-total {
+		sum, ok := AddWeights(total, weight)
+		if !ok || sum > maxTotalSoftWeight {
 			return nil, fmt.Errorf("cnf: line %d: total soft weight overflows int64", lineNo)
 		}
-		total += weight
+		total = sum
 		clause, err := parseClauseLine(strings.Join(fields[1:], " "))
 		if err != nil {
 			return nil, fmt.Errorf("cnf: line %d: %w", lineNo, err)
@@ -319,10 +334,11 @@ func ReadWCNF(r io.Reader) (*WCNF, error) {
 		if weight >= top {
 			w.Hard = append(w.Hard, clause)
 		} else {
-			if weight > maxTotalSoftWeight-total {
+			sum, ok := AddWeights(total, weight)
+			if !ok || sum > maxTotalSoftWeight {
 				return nil, fmt.Errorf("cnf: line %d: total soft weight overflows int64", lineNo)
 			}
-			total += weight
+			total = sum
 			w.Soft = append(w.Soft, SoftClause{Clause: clause, Weight: weight})
 		}
 		w.growVars(clause)

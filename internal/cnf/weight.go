@@ -1,0 +1,35 @@
+package cnf
+
+import "math"
+
+// AddWeights returns a+b and reports whether the sum fits in int64.
+// Soft-clause weights and cost totals must flow through this helper
+// (or MulWeights) rather than raw arithmetic: the 2022 WCNF dialect
+// admits weights near 2^63, and a silently wrapped total corrupts
+// every bound the MaxSAT engines derive from it. The weightsafe
+// analyzer (internal/lint) enforces this at build time.
+func AddWeights(a, b int64) (int64, bool) {
+	sum := a + b
+	if (b > 0 && sum < a) || (b < 0 && sum > a) {
+		return 0, false
+	}
+	return sum, true
+}
+
+// MulWeights returns a*b and reports whether the product fits in
+// int64. See AddWeights for why weight arithmetic must be checked.
+func MulWeights(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	// MinInt64 * -1 wraps, and Go defines MinInt64 / -1 == MinInt64, so
+	// the division round-trip below cannot catch that pair.
+	if (a == math.MinInt64 && b == -1) || (a == -1 && b == math.MinInt64) {
+		return 0, false
+	}
+	prod := a * b
+	if prod/b != a {
+		return 0, false
+	}
+	return prod, true
+}

@@ -1,0 +1,83 @@
+package cnf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAddWeights(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+		ok         bool
+	}{
+		{1, 2, 3, true},
+		{0, 0, 0, true},
+		{math.MaxInt64, 0, math.MaxInt64, true},
+		{math.MaxInt64, 1, 0, false},
+		{math.MaxInt64 - 1, 1, math.MaxInt64, true},
+		{1, math.MaxInt64, 0, false},
+		{math.MinInt64, -1, 0, false},
+		{-1, -2, -3, true},
+		{math.MinInt64, math.MaxInt64, -1, true},
+	}
+	for _, c := range cases {
+		got, ok := AddWeights(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("AddWeights(%d, %d) = %d, %v; want %d, %v", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestMulWeights(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+		ok         bool
+	}{
+		{3, 4, 12, true},
+		{0, math.MaxInt64, 0, true},
+		{math.MaxInt64, 1, math.MaxInt64, true},
+		{math.MaxInt64, 2, 0, false},
+		{1 << 32, 1 << 32, 0, false},
+		{-1, math.MinInt64, 0, false},
+		{math.MinInt64, -1, 0, false},
+		{-3, 4, -12, true},
+		{math.MinInt64, 1, math.MinInt64, true},
+	}
+	for _, c := range cases {
+		got, ok := MulWeights(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("MulWeights(%d, %d) = %d, %v; want %d, %v", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestTotalSoftWeightSaturates pins the fix for the silent int64 wrap:
+// a programmatically built instance (never validated, so readers'
+// bounds don't apply) with weights summing past MaxInt64 must report
+// the saturation cap, not a negative garbage total.
+func TestTotalSoftWeightSaturates(t *testing.T) {
+	var w WCNF
+	w.AddSoft(math.MaxInt64-1, 1)
+	w.AddSoft(math.MaxInt64-1, 2)
+	if got := w.TotalSoftWeight(); got != maxTotalSoftWeight {
+		t.Errorf("TotalSoftWeight() = %d, want saturation at %d", got, int64(maxTotalSoftWeight))
+	}
+	// A valid instance is unaffected.
+	var v WCNF
+	v.AddSoft(3, 1)
+	v.AddSoft(4, 2)
+	if got := v.TotalSoftWeight(); got != 7 {
+		t.Errorf("TotalSoftWeight() = %d, want 7", got)
+	}
+}
+
+// TestCostOverflow pins the companion fix in Cost: falsifying
+// overflowing weights must surface an error, not a wrapped total.
+func TestCostOverflow(t *testing.T) {
+	var w WCNF
+	w.AddSoft(math.MaxInt64-1, 1)
+	w.AddSoft(math.MaxInt64-1, 2)
+	if _, err := w.Cost([]bool{false, false, false}); err == nil {
+		t.Fatal("Cost() on overflowing falsified weights: want error, got nil")
+	}
+}

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"mpmcs4fta/internal/bdd"
+	"mpmcs4fta/internal/fp"
 	"mpmcs4fta/internal/ft"
 	"mpmcs4fta/internal/maxsat"
 )
@@ -175,6 +175,5 @@ func mpmcsEqualProb(a, b *Solution) bool {
 	if a == nil || b == nil {
 		return a == b
 	}
-	larger := math.Max(math.Abs(a.Probability), math.Abs(b.Probability))
-	return math.Abs(a.Probability-b.Probability) <= 1e-9*math.Max(larger, 1e-300)
+	return fp.Eq(a.Probability, b.Probability)
 }

@@ -23,6 +23,7 @@ import (
 
 	"mpmcs4fta/internal/boolexpr"
 	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/fp"
 	"mpmcs4fta/internal/ft"
 	"mpmcs4fta/internal/maxsat"
 	"mpmcs4fta/internal/obs"
@@ -72,7 +73,7 @@ func (o Options) withDefaults() Options {
 	if o.Engines == nil {
 		o.Engines = portfolio.DefaultEngines()
 	}
-	if o.Scale == 0 {
+	if fp.Zero(o.Scale) {
 		o.Scale = DefaultScale
 	}
 	return o
@@ -208,10 +209,10 @@ func LogWeights(events []*ft.BasicEvent, scale float64) []EventWeight {
 	for i, e := range events {
 		w := EventWeight{ID: e.ID, Prob: e.Prob}
 		switch {
-		case e.Prob == 0:
+		case fp.Zero(e.Prob):
 			w.Weight = math.Inf(1)
 			w.Hard = true
-		case e.Prob == 1:
+		case fp.One(e.Prob):
 			w.Weight = 0
 			w.Scaled = 0
 		default:
@@ -462,7 +463,7 @@ func buildSolution(tree *ft.Tree, steps *Steps, res maxsat.Result, report portfo
 	}
 	if res.Status == maxsat.Feasible {
 		scale := opts.Scale
-		if scale == 0 {
+		if fp.Zero(scale) {
 			scale = DefaultScale
 		}
 		if gap := res.Gap(); gap > 0 {

@@ -38,13 +38,13 @@ package differ
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"time"
 
 	"mpmcs4fta/internal/cnf"
 	"mpmcs4fta/internal/core"
+	"mpmcs4fta/internal/fp"
 	"mpmcs4fta/internal/ft"
 	"mpmcs4fta/internal/maxsat"
 	"mpmcs4fta/internal/mcs"
@@ -113,7 +113,7 @@ func (o Options) withDefaults() Options {
 	if o.Engines == nil {
 		o.Engines = portfolio.DefaultEngines()
 	}
-	if o.Scale == 0 {
+	if fp.Zero(o.Scale) {
 		o.Scale = core.DefaultScale
 	}
 	return o
@@ -495,7 +495,7 @@ func setProbability(tree *ft.Tree, set []string) float64 {
 // the cases where a MaxSAT optimum need not decode to a minimal set.
 func hasBoundaryProbabilities(tree *ft.Tree) bool {
 	for _, e := range tree.Events() {
-		if e.Prob == 0 || e.Prob == 1 {
+		if fp.Zero(e.Prob) || fp.One(e.Prob) {
 			return true
 		}
 	}
@@ -504,6 +504,5 @@ func hasBoundaryProbabilities(tree *ft.Tree) bool {
 
 // probEqual compares probabilities with the oracle tolerance.
 func probEqual(a, b float64) bool {
-	larger := math.Max(math.Abs(a), math.Abs(b))
-	return math.Abs(a-b) <= ProbTolerance*math.Max(larger, 1e-300)
+	return fp.EqTol(a, b, ProbTolerance)
 }

@@ -1,0 +1,47 @@
+// Package fp centralises the repo's floating-point comparison policy.
+// Probabilities flow through -log transforms, integer scaling, BDD
+// convolutions and back; two mathematically equal values routinely
+// differ in the last ulp, so raw == / != on float64s is either a
+// latent bug or an undocumented sentinel check. The floatcmp analyzer
+// (internal/lint) forbids raw equality in the probability-bearing
+// packages and points here: tolerance comparison through Eq/EqTol,
+// boundary-probability sentinels through Zero/One.
+package fp
+
+import "math"
+
+// DefaultTol is the relative tolerance used across the repo for
+// probability agreement: the BDD oracle, the differential harness and
+// the benchmark cross-checks all compare at 1e-9.
+const DefaultTol = 1e-9
+
+// tiny floors the relative-error denominator so comparisons against
+// zero degrade to a meaningful absolute test instead of dividing by
+// zero; 1e-300 sits far below any probability the pipeline produces.
+const tiny = 1e-300
+
+// Eq reports whether a and b are equal within DefaultTol relative
+// tolerance.
+func Eq(a, b float64) bool {
+	return EqTol(a, b, DefaultTol)
+}
+
+// EqTol reports whether a and b are equal within the given relative
+// tolerance: |a-b| <= tol * max(|a|, |b|, tiny).
+func EqTol(a, b, tol float64) bool {
+	larger := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*math.Max(larger, tiny)
+}
+
+// Zero reports whether x is exactly +0 or -0. It exists for sentinel
+// checks — an unset option, a p=0 never-fails event — where exactness
+// is the point and must be visible at the call site.
+func Zero(x float64) bool {
+	return x == 0
+}
+
+// One reports whether x is exactly 1: the p=1 always-fails sentinel of
+// the weight transform (such events cost nothing to fail).
+func One(x float64) bool {
+	return x == 1
+}

@@ -1,0 +1,50 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{0, 0, true},
+		{1, 1 + 1e-12, true}, // within relative tolerance
+		{1, 1 + 1e-6, false}, // outside
+		{1e-30, 1.0000000001e-30, true},
+		{1e-30, 2e-30, false},             // relative, not absolute: tiny values still distinguished
+		{0, 1e-9, false},                  // zero only matches (sub)denormal neighbours
+		{math.Inf(1), math.Inf(1), false}, // Inf-Inf is NaN; NaN <= x is false
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqTolMatchesDifferSemantics(t *testing.T) {
+	// EqTol must reproduce the oracle comparison the differential
+	// harness always used: |a-b| <= tol*max(|a|,|b|,1e-300).
+	if !EqTol(0.5, 0.5+4e-10, 1e-9) {
+		t.Error("within-tolerance probabilities compare unequal")
+	}
+	if EqTol(0.5, 0.5+6e-10, 1e-9) {
+		t.Error("out-of-tolerance probabilities compare equal")
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	if !Zero(0) || !Zero(math.Copysign(0, -1)) {
+		t.Error("Zero must accept both signed zeros")
+	}
+	if Zero(math.SmallestNonzeroFloat64) {
+		t.Error("Zero must be exact")
+	}
+	if !One(1) || One(math.Nextafter(1, 2)) || One(math.Nextafter(1, 0)) {
+		t.Error("One must be exact")
+	}
+}

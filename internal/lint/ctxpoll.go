@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll enforces the cancellation invariant on solver engine loops:
+// every for loop that can iterate indefinitely (no loop condition) in
+// the sat, maxsat and portfolio packages must reach a context poll —
+// a ctx.Err()/ctx.Done() check, a call that passes a context.Context
+// down (the callee is presumed to honor it), or a call to a function
+// in this module whose body provably polls.
+//
+// This is the exact bug class fixed twice in PR 4: a CDCL search loop
+// that polled ctx only on conflicts ignored a 100ms deadline for 74
+// seconds on a conflict-free descent. Bounded condition-less loops
+// (heap sift-downs, trail walks) are suppressed with an auditable
+// //lint:ignore ctxpoll <why the loop is bounded>.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "condition-less for loops in sat/maxsat/portfolio must reach a " +
+		"ctx.Err/ctx.Done poll or a call that provably polls",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) {
+	if !pathEndsIn(pass.Pkg.Path, "sat", "maxsat", "portfolio") {
+		return
+	}
+	polls := pollingFuncs(pass.All)
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if !reachesPoll(pass.Pkg.Info, loop.Body, polls) {
+				pass.Reportf(loop.For, "indefinitely iterating loop never polls the context: "+
+					"add a ctx.Err()/ctx.Done() check or a call that polls, or annotate why the loop is bounded")
+			}
+			return true
+		})
+	}
+}
+
+// pollingFuncs computes, over every loaded module package, the set of
+// functions whose bodies (transitively) poll a context: a fixed point
+// over the static call graph seeded with functions that poll directly.
+func pollingFuncs(all map[string]*Package) map[types.Object]bool {
+	type declInfo struct {
+		decl *ast.FuncDecl
+		info *types.Info
+	}
+	decls := make(map[types.Object]declInfo)
+	polls := make(map[types.Object]bool)
+	for _, pkg := range all {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				decls[obj] = declInfo{decl: fd, info: pkg.Info}
+				if pollsDirectly(pkg.Info, fd.Body) {
+					polls[obj] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, di := range decls {
+			if polls[obj] {
+				continue
+			}
+			found := false
+			inspectSkippingFuncLits(di.decl.Body, func(n ast.Node) {
+				if found {
+					return
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := calleeOf(di.info, call); callee != nil && polls[callee] {
+						found = true
+					}
+				}
+			})
+			if found {
+				polls[obj] = true
+				changed = true
+			}
+		}
+	}
+	return polls
+}
+
+// reachesPoll reports whether the loop body contains a direct context
+// poll, a call handing a context down, or a call to a known polling
+// function. Function literals are skipped: defining a closure inside
+// the loop does not mean it runs every iteration.
+func reachesPoll(info *types.Info, body *ast.BlockStmt, polls map[types.Object]bool) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		if found {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if isDirectCtxPoll(info, call) || passesContext(info, call) {
+			found = true
+			return
+		}
+		if callee := calleeOf(info, call); callee != nil && polls[callee] {
+			found = true
+		}
+	})
+	return found
+}
+
+// pollsDirectly reports whether the body itself checks a context or
+// hands one to a callee (not counting nested function literals).
+func pollsDirectly(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		if found {
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isDirectCtxPoll(info, call) || passesContext(info, call) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// isDirectCtxPoll matches ctx.Err() and ctx.Done() on a
+// context.Context value.
+func isDirectCtxPoll(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	return isContextType(info.Types[sel.X].Type)
+}
+
+// passesContext reports whether the call forwards a context.Context
+// argument; such callees are presumed to honor cancellation (the
+// engines' Solve(ctx, ...) contract).
+func passesContext(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// calleeOf resolves the called function or method object, if static.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// inspectSkippingFuncLits walks the tree in source order but does not
+// descend into function literals.
+func inspectSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

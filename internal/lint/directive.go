@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full form is
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// where <analyzer> is an analyzer name or "*" and <reason> is a
+// mandatory free-text justification. The directive suppresses matching
+// findings reported on its own line (trailing comment) or on the line
+// directly below it (standalone comment line).
+const ignorePrefix = "//lint:ignore"
+
+// ignoreDirective is one parsed, well-formed suppression.
+type ignoreDirective struct {
+	line      int
+	analyzers []string // names, or ["*"]
+}
+
+// directives is the per-package suppression table.
+type directives struct {
+	byLine map[string][]ignoreDirective // filename -> directives
+	// malformed holds the findings for directives missing a reason or
+	// analyzer list; an unauditable suppression is itself a violation.
+	malformed []Diagnostic
+}
+
+// directivesFor parses every //lint:ignore comment in the package.
+func directivesFor(fset *token.FileSet, pkg *Package) *directives {
+	d := &directives{byLine: make(map[string][]ignoreDirective)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if names == "" || reason == "" {
+					d.malformed = append(d.malformed, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				d.byLine[pos.Filename] = append(d.byLine[pos.Filename], ignoreDirective{
+					line:      pos.Line,
+					analyzers: strings.Split(names, ","),
+				})
+			}
+		}
+	}
+	return d
+}
+
+// suppresses reports whether a well-formed directive covers the
+// finding: same file, directive on the finding's line or the line
+// above, analyzer named (or "*").
+func (d *directives) suppresses(diag Diagnostic) bool {
+	for _, dir := range d.byLine[diag.Pos.Filename] {
+		if dir.line != diag.Pos.Line && dir.line != diag.Pos.Line-1 {
+			continue
+		}
+		for _, name := range dir.analyzers {
+			if name == "*" || name == diag.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runAnalyzerTest loads testdata/src/<dir> through the real loader,
+// runs one analyzer (suppression and directive handling included, via
+// Run), and checks the findings against the golden's expectation
+// comments:
+//
+//	code // want "regexp"
+//
+// Each want comment expects, on its own line, one finding per quoted
+// regexp (double- or back-quoted); findings on lines without a matching
+// want, and wants without a matching finding, fail the test. This is
+// the analysistest contract, rebuilt on the stdlib-only framework.
+func runAnalyzerTest(t *testing.T, analyzer *Analyzer, dirs ...string) {
+	t.Helper()
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./testdata/src/" + d
+	}
+	fset, targets, all, err := Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("load %v: %v", patterns, err)
+	}
+	findings := Run(fset, targets, all, []*Analyzer{analyzer})
+
+	wants := parseWants(t, fset, targets)
+	for _, d := range findings {
+		key := posKey(d.File, d.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no %s finding matched want %q", key, analyzer.Name, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// wantPattern extracts the quoted regexps of a want comment. Both
+// double quotes (with escapes) and backquotes are accepted.
+var wantPattern = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants collects expectation comments from every golden file,
+// keyed by file:line.
+func parseWants(t *testing.T, fset *token.FileSet, pkgs []*Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if strings.HasPrefix(c.Text, "/*") {
+						text = strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+					}
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					quoted := wantPattern.FindAllString(text[len("want "):], -1)
+					if len(quoted) == 0 {
+						t.Fatalf("%s: want comment with no quoted regexp: %s", pos, c.Text)
+					}
+					for _, q := range quoted {
+						var expr string
+						if q[0] == '`' {
+							expr = q[1 : len(q)-1]
+						} else {
+							var err error
+							expr, err = strconv.Unquote(q)
+							if err != nil {
+								t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+							}
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, expr, err)
+						}
+						key := posKey(pos.Filename, pos.Line)
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

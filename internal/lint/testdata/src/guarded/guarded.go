@@ -1,0 +1,74 @@
+// Package guarded is the guardedby golden: fields annotated
+// "// guarded by <mu>" must be accessed with the mutex held or from
+// *Locked functions.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int64 // guarded by mu
+
+	hits int64 // unannotated: out of scope
+}
+
+func readUnlocked(c *counter) int64 {
+	return c.n // want "guarded by mu"
+}
+
+func writeUnlocked(c *counter) {
+	c.n = 4 // want "guarded by mu"
+}
+
+func readLocked(c *counter) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func writeLocked(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func accessAfterUnlock(c *counter) int64 {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	return c.n // want "guarded by mu"
+}
+
+// bumpLocked follows the repo convention: the Locked suffix asserts the
+// caller holds the mutex.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func unannotatedIsFree(c *counter) int64 {
+	return c.hits
+}
+
+type rwCounter struct {
+	mu sync.RWMutex
+	v  int64 // guarded by mu
+}
+
+func readRLocked(c *rwCounter) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.v
+}
+
+func readRUnlocked(c *rwCounter) int64 {
+	return c.v // want "guarded by mu"
+}
+
+// annotatedException shows the suppression path: single-goroutine setup
+// before the value is shared.
+func annotatedException() *counter {
+	c := &counter{}
+	//lint:ignore guardedby the counter has not been shared yet
+	c.n = 1
+	return c
+}

@@ -1,0 +1,53 @@
+// Package ignore is the suppression-directive golden, exercised with
+// weightsafe findings: directives need a named analyzer AND a non-empty
+// reason, cover only their own line or the line below, and match by
+// analyzer name or "*".
+package ignore
+
+func suppressedAbove(totalWeight, w int64) int64 {
+	//lint:ignore weightsafe bounded by the validated instance total
+	totalWeight += w
+	return totalWeight
+}
+
+func suppressedSameLine(totalWeight, w int64) int64 {
+	totalWeight += w //lint:ignore weightsafe bounded by the validated instance total
+	return totalWeight
+}
+
+func suppressedWildcard(totalWeight, w int64) int64 {
+	//lint:ignore * bounded by the validated instance total
+	totalWeight += w
+	return totalWeight
+}
+
+// missingReason: an unauditable directive is itself a finding, and it
+// suppresses nothing — the underlying violation is still reported.
+func missingReason(totalWeight, w int64) int64 {
+	/* want "malformed" */ //lint:ignore weightsafe
+	totalWeight += w       // want "unchecked"
+	return totalWeight
+}
+
+// wrongAnalyzer: a well-formed directive for a different analyzer does
+// not cover the finding.
+func wrongAnalyzer(totalWeight, w int64) int64 {
+	//lint:ignore ctxpoll the loop below is bounded
+	totalWeight += w // want "unchecked"
+	return totalWeight
+}
+
+// tooFarAway: directives reach exactly one line down, no further.
+func tooFarAway(totalWeight, w int64) int64 {
+	//lint:ignore weightsafe bounded by the validated instance total
+
+	totalWeight += w // want "unchecked"
+	return totalWeight
+}
+
+// multiName: one directive can name several analyzers.
+func multiName(totalWeight, w int64) int64 {
+	//lint:ignore weightsafe,ctxpoll bounded by the validated instance total
+	totalWeight += w
+	return totalWeight
+}

@@ -1,0 +1,53 @@
+// Package portfolio is the goroutinewait golden: the directory name
+// puts it in the analyzer's scope (portfolio/obs/cmd).
+package portfolio
+
+import "sync"
+
+func nakedGoroutine(work func()) {
+	go work() // want "without a join"
+}
+
+func waitGroupJoin(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func channelJoin(work func() int) int {
+	done := make(chan int, 1)
+	go func() { done <- work() }()
+	return <-done
+}
+
+func selectJoin(work func(), stop chan struct{}) {
+	go work()
+	select {
+	case <-stop:
+	}
+}
+
+func rangeJoin(work func(chan int)) int {
+	results := make(chan int)
+	go work(results)
+	total := 0
+	for v := range results {
+		total += v
+	}
+	return total
+}
+
+func noGoroutines(work func()) {
+	work()
+}
+
+// annotatedDetached shows the suppression path: the goroutine's
+// lifetime is owned elsewhere.
+func annotatedDetached(serve func()) {
+	//lint:ignore goroutinewait server goroutine lives until the stop function closes the listener
+	go serve()
+}

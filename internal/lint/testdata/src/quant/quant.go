@@ -1,0 +1,44 @@
+// Package quant is the floatcmp golden: the directory name puts it in
+// the analyzer's scope (quant/bdd/core/differ).
+package quant
+
+import "math"
+
+func exactEqual(a, b float64) bool {
+	return a == b // want "floating-point"
+}
+
+func exactNotEqual(a, b float64) bool {
+	return a != b // want "floating-point"
+}
+
+func mixedOperands(p float64, scaled int64) bool {
+	return p == float64(scaled) // want "floating-point"
+}
+
+// ordering comparisons are fine: they are well-defined on floats.
+func ordered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// integer equality is out of scope.
+func intEqual(i, j int64) bool {
+	return i == j
+}
+
+// toleranceCompare is the sanctioned shape (what fp.EqTol does).
+func toleranceCompare(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// annotatedSentinel shows the suppression path for a deliberate exact
+// comparison.
+func annotatedSentinel(probs []float64) bool {
+	for i := 1; i < len(probs); i++ {
+		//lint:ignore floatcmp exact comparison keeps the ordering a strict weak order
+		if probs[i] != probs[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+// Package sat is the ctxpoll golden: the directory name puts it in the
+// analyzer's scope (import paths ending in sat/maxsat/portfolio).
+package sat
+
+import "context"
+
+func spinsForever(stop func() bool) {
+	for { // want "never polls the context"
+		if stop() {
+			return
+		}
+	}
+}
+
+func pollsDirectly(ctx context.Context, stop func() bool) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if stop() {
+			return
+		}
+	}
+}
+
+func pollsViaDone(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-work:
+		}
+	}
+}
+
+func handsContextDown(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if step(ctx) {
+			return
+		}
+	}
+}
+
+type engine struct {
+	ctx  context.Context
+	left int
+}
+
+func (e *engine) canceled() bool { return e.ctx.Err() != nil }
+
+// pollsInterprocedurally exercises the fixed-point: canceled() polls,
+// so a loop calling it is covered.
+func (e *engine) pollsInterprocedurally() {
+	for {
+		if e.canceled() {
+			return
+		}
+		e.left--
+	}
+}
+
+// closureDoesNotCount: a context poll inside a function literal defined
+// in the loop is not a poll of the loop itself.
+func closureDoesNotCount(ctx context.Context) {
+	for { // want "never polls the context"
+		probe := func() error { return ctx.Err() }
+		_ = probe
+	}
+}
+
+// conditionBoundedLoop has a loop condition, so it is out of scope by
+// construction.
+func conditionBoundedLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// annotatedBounded shows the suppression path for provably bounded
+// condition-less loops.
+func annotatedBounded(i int64) int64 {
+	//lint:ignore ctxpoll doubles each iteration, so terminates in at most 63 steps
+	for k := uint(1); ; k++ {
+		if int64(1)<<k > i {
+			return int64(k)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package weights is the weightsafe golden. The analyzer is unscoped
+// (weight arithmetic is a repo-wide invariant), so any path works.
+package weights
+
+// addWeights stands in for cnf.AddWeights; the parameter names are
+// deliberately neutral so the helper body itself is not weight-typed.
+func addWeights(a, b int64) (int64, bool) {
+	sum := a + b
+	if (b > 0 && sum < a) || (b < 0 && sum > a) {
+		return 0, false
+	}
+	return sum, true
+}
+
+func accumulate(weights []int64) int64 {
+	var totalWeight int64
+	for _, w := range weights {
+		totalWeight += w // want "unchecked"
+	}
+	return totalWeight
+}
+
+func scaleCost(cost int64, n int64) int64 {
+	return cost * n // want "unchecked"
+}
+
+func mergeByLit(weightOf map[int]int64, l int, w int64) {
+	weightOf[l] += w // want "unchecked"
+}
+
+func checkedAccumulate(weights []int64) (int64, bool) {
+	var total int64
+	for _, w := range weights {
+		sum, ok := addWeights(total, w)
+		if !ok {
+			return 0, false
+		}
+		total = sum
+	}
+	return total, true
+}
+
+// plain int64 arithmetic with neutral names is out of scope.
+func neutralNames(a, b int64) int64 {
+	return a + b
+}
+
+// non-int64 weight-named values are out of scope: the invariant is
+// about int64 accumulators.
+func floatWeight(weight float64) float64 {
+	return weight * 2
+}
+
+// subtraction cannot silently exceed the weight domain built by
+// addition, so it is out of scope.
+func refund(totalWeight, w int64) int64 {
+	return totalWeight - w
+}
+
+// annotatedBounded shows the suppression path for provably bounded
+// accumulation.
+func annotatedBounded(weightOf []int64) int64 {
+	var sum int64
+	for i := range weightOf {
+		//lint:ignore weightsafe sums a subset of an already validated total
+		sum += weightOf[i]
+	}
+	return sum
+}

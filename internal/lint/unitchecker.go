@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+)
+
+// VetConfig mirrors the JSON configuration cmd/go hands a -vettool for
+// each package unit: the file set to analyze plus the import universe
+// as compiler export data. Only the fields ftlint consumes are
+// declared; unknown fields are ignored by encoding/json.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetConfig reads a cmd/go vet configuration file and type-checks
+// the unit it describes. The returned package map contains only the
+// unit itself: cross-package syntax is unavailable in vettool mode, so
+// analyzers fall back to their intraprocedural/per-call heuristics.
+func LoadVetConfig(path string) (*VetConfig, *token.FileSet, *Package, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: read vet config: %w", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: parse vet config %s: %w", path, err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := typeCheck(fset, listedPackage{
+		Dir:        cfg.Dir,
+		ImportPath: cfg.ImportPath,
+		GoFiles:    cfg.GoFiles, // cmd/go hands these as absolute paths
+	}, vetImporter(fset, &cfg))
+	if err != nil {
+		return &cfg, nil, nil, err
+	}
+	return &cfg, fset, pkg, nil
+}
+
+// WriteVetx writes the (empty) facts file cmd/go expects a vettool to
+// produce; ftlint's analyzers exchange no facts.
+func (cfg *VetConfig) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}
+
+// vetImporter satisfies imports from the export data files named in
+// the vet config, applying the config's import map (vendoring etc.).
+func vetImporter(fset *token.FileSet, cfg *VetConfig) types.Importer {
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	gc := newExportImporter(fset, exports)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return gc.Import(path)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -158,6 +158,7 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 			st.assign[v] = 0
 		}
 	}
+	//lint:ignore ctxpoll the fixpoint assigns at least one variable per iteration, bounded by the variable count; ctx is polled per search node
 	for {
 		unitVar, unitVal, conflict := st.findHardUnit()
 		if conflict {
@@ -281,6 +282,7 @@ func (st *bbState) falsifiedWeight() int64 {
 			}
 		}
 		if falsified {
+			//lint:ignore weightsafe sums a subset of the soft weights, bounded by the Validate-checked total
 			total += soft.Weight
 		}
 	}

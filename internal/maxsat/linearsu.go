@@ -59,7 +59,11 @@ func (l *LinearSU) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog P
 		total int64
 	)
 	for _, soft := range inst.Soft {
-		total += soft.Weight // no overflow: Validate bounds the sum
+		sum, okAdd := cnf.AddWeights(total, soft.Weight)
+		if !okAdd {
+			return Result{}, fmt.Errorf("maxsat: total soft weight overflows int64")
+		}
+		total = sum
 		var budgetLit cnf.Lit
 		if len(soft.Clause) == 1 {
 			// Duplicate unit softs merge into one budget literal with
@@ -76,6 +80,7 @@ func (l *LinearSU) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog P
 		if _, seen := weightOf[budgetLit]; !seen {
 			order = append(order, budgetLit)
 		}
+		//lint:ignore weightsafe merged unit-soft weights sum to the Validate-bounded total computed above
 		weightOf[budgetLit] += soft.Weight
 	}
 	budgetLits := make([]cnf.Lit, len(order))

@@ -186,7 +186,11 @@ func (w *WMSU1) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog Prog
 				wmin = softs[idx].weight
 			}
 		}
-		cost += wmin
+		newCost, okAdd := cnf.AddWeights(cost, wmin)
+		if !okAdd {
+			return Result{Stats: stats}, fmt.Errorf("maxsat: core-payment lower bound overflows int64")
+		}
+		cost = newCost
 		// Core-guided search: each core payment raises the proven lower
 		// bound; the upper bound is the best intermediate model if any.
 		stats.RecordBound(stats.SATCalls, cost, bestCost)

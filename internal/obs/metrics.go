@@ -14,7 +14,7 @@ import (
 // is the disabled state, so callers can record unconditionally).
 type Metrics struct {
 	mu       sync.Mutex
-	counters map[string]int64
+	counters map[string]int64 // guarded by mu
 }
 
 // NewMetrics returns an empty registry.

@@ -26,6 +26,7 @@ func StartPprofServer(addr string) (boundAddr string, stop func() error, err err
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	mux.Handle("/debug/vars", http.DefaultServeMux) // expvar registers there
 	srv := &http.Server{Handler: mux}
+	//lint:ignore goroutinewait server goroutine lives until the returned stop function calls srv.Close
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after stop
 	return ln.Addr().String(), srv.Close, nil
 }

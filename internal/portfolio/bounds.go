@@ -24,14 +24,14 @@ import (
 // sat.SetBudgetBound (which rejects raising) safe.
 type Bounds struct {
 	mu      sync.Mutex
-	ubSet   bool
-	ub      int64
-	model   []bool
-	owner   string // engine that published the incumbent
-	lb      int64
-	closed  bool
-	onClose func()
-	traffic obs.BoundTraffic
+	ubSet   bool             // guarded by mu
+	ub      int64            // guarded by mu
+	model   []bool           // guarded by mu
+	owner   string           // engine that published the incumbent; guarded by mu
+	lb      int64            // guarded by mu
+	closed  bool             // guarded by mu
+	onClose func()           // guarded by mu
+	traffic obs.BoundTraffic // guarded by mu
 }
 
 // NewBounds returns an empty bound manager. onClose (may be nil) is

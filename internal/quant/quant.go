@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"mpmcs4fta/internal/bdd"
+	"mpmcs4fta/internal/fp"
 	"mpmcs4fta/internal/ft"
 	"mpmcs4fta/internal/mcs"
 )
@@ -100,6 +101,7 @@ func Measures(t *ft.Tree) ([]Importance, error) {
 		out = append(out, imp)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:ignore floatcmp exact comparison keeps the ordering a strict weak order; epsilon ties would make sort.Slice non-deterministic
 		if out[i].Birnbaum != out[j].Birnbaum {
 			return out[i].Birnbaum > out[j].Birnbaum
 		}
@@ -110,9 +112,9 @@ func Measures(t *ft.Tree) ([]Importance, error) {
 
 func safeFrac(num, den float64) float64 {
 	switch {
-	case den != 0:
+	case !fp.Zero(den):
 		return num / den
-	case num == 0:
+	case fp.Zero(num):
 		return 0
 	case num > 0:
 		return math.Inf(1)

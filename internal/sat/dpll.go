@@ -125,6 +125,7 @@ func (d *Dpll) dpll(ctx context.Context, assign []lbool) (Status, error) {
 	}
 
 	// Unit propagation to fixpoint.
+	//lint:ignore ctxpoll the fixpoint assigns at least one literal per iteration, bounded by the variable count; ctx is polled per search node
 	for {
 		unit := cnf.Lit(0)
 		for _, clause := range d.clauses {

@@ -45,6 +45,7 @@ func (h *varHeap) up(i int) {
 }
 
 func (h *varHeap) down(i int) {
+	//lint:ignore ctxpoll sift-down is bounded by the heap height
 	for {
 		left, right := 2*i+1, 2*i+2
 		smallest := i

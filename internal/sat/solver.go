@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
@@ -314,10 +313,11 @@ func (s *Solver) SetBudget(lits []cnf.Lit, weights []int64, bound int64) error {
 		if weights[i] <= 0 {
 			return fmt.Errorf("sat: budget weight %d must be positive", weights[i])
 		}
-		if weights[i] > math.MaxInt64-total {
+		sum, okAdd := cnf.AddWeights(total, weights[i])
+		if !okAdd {
 			return fmt.Errorf("sat: total budget weight overflows int64 at literal %d", i)
 		}
-		total += weights[i]
+		total = sum
 		l := fromDimacs(dl)
 		if s.budgetWeight[l] != 0 {
 			return fmt.Errorf("sat: duplicate budget literal %v", dl)
@@ -381,6 +381,7 @@ func (s *Solver) recomputeBudgetSum() {
 	s.budgetSum = 0
 	for _, l := range s.budgetLits {
 		if s.value(l) == lTrue {
+			//lint:ignore weightsafe sums a subset of the SetBudget-validated total, which fits int64
 			s.budgetSum += s.budgetWeight[l]
 		}
 	}
@@ -500,6 +501,7 @@ func (s *Solver) propagate() *clause {
 // propagateAll interleaves clause propagation with the budget
 // propagator until global fixpoint or conflict.
 func (s *Solver) propagateAll() *clause {
+	//lint:ignore ctxpoll the propagation fixpoint assigns literals monotonically, so iterations are bounded by the variable count; ctx is polled per conflict in search()
 	for {
 		if confl := s.propagate(); confl != nil {
 			return confl
@@ -592,6 +594,7 @@ func (s *Solver) budgetConflict() *clause {
 	for _, l := range s.budgetLits {
 		if s.value(l) == lTrue {
 			lits = append(lits, l.neg())
+			//lint:ignore weightsafe sums a subset of the SetBudget-validated total, which fits int64
 			sum += s.budgetWeight[l]
 			if sum > s.budgetBound {
 				break
@@ -664,6 +667,7 @@ func (s *Solver) analyze(confl *clause) ([]lit, int) {
 	idx := len(s.trail) - 1
 	toClear := make([]int, 0, 16)
 
+	//lint:ignore ctxpoll first-UIP resolution walks the trail backwards, so iterations are bounded by the trail length
 	for {
 		if confl.learnt {
 			s.bumpClause(confl)
@@ -851,6 +855,7 @@ func (s *Solver) pickBranchLit() lit {
 // luby computes the Luby restart sequence value for index i (1-based):
 // 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
 func luby(i int64) int64 {
+	//lint:ignore ctxpoll terminates in O(log i): each iteration doubles the segment length until it covers i
 	for k := uint(1); ; k++ {
 		segEnd := (int64(1) << k) - 1
 		if i == segEnd {

@@ -30,14 +30,17 @@ type params struct {
 	timeout time.Duration
 	tracer  obs.Tracer
 	metrics *obs.Metrics
+	bus     *obs.EventBus
 }
 
 // options applies the shared observability configuration to a
 // per-experiment Options value; every experiment builds its Options
-// through this helper so -trace/-metrics cover all of them.
+// through this helper so -trace/-metrics/-obs-listen cover all of
+// them.
 func (p params) options(o core.Options) core.Options {
 	o.Tracer = p.tracer
 	o.Metrics = p.metrics
+	o.Bus = p.bus
 	return o
 }
 
@@ -82,6 +85,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		metrics  = fs.String("metrics", "", "write a plain-text metrics snapshot ('-' for stderr)")
 		pprof    = fs.String("pprof", "", "serve net/http/pprof and expvar on this address while experiments run")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile covering the whole run")
+		obsAddr  = fs.String("obs-listen", "", "serve live telemetry on this address: /metrics (Prometheus), /events (SSE bound trajectory), /debug/pprof")
 
 		benchOut  = fs.String("bench", "", "run the nightly benchmark suite and write BENCH JSON to this file")
 		baseline  = fs.String("compare", "", "compare the benchmark run against this baseline BENCH JSON, failing on regression")
@@ -125,6 +129,19 @@ func run(args []string, stdout io.Writer) (err error) {
 				err = werr
 			}
 		}()
+	}
+	if *obsAddr != "" {
+		if p.metrics == nil {
+			p.metrics = obs.NewMetrics()
+		}
+		p.bus = obs.NewEventBus()
+		srv := obs.NewServer(p.metrics, p.bus)
+		bound, serr := srv.Start(*obsAddr)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ftbench: telemetry on http://%s/metrics and http://%s/events\n", bound, bound)
 	}
 	if *pprof != "" {
 		bound, stop, perr := obs.StartPprofServer(*pprof)

@@ -11,7 +11,7 @@
 //	          [-engine portfolio|bdd] [-sequential] [-timeout 30s] [-pg]
 //	          [-output out.json] [-dot out.dot] [-wcnf out.wcnf] [-report]
 //	          [-trace spans.json] [-metrics metrics.txt] [-pprof addr]
-//	          [-cpuprofile cpu.prof]
+//	          [-cpuprofile cpu.prof] [-obs-listen addr] [-obs-linger 30s]
 //
 // The input file may also be given as a positional argument.
 package main
@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"mpmcs4fta"
 	"mpmcs4fta/internal/obs"
@@ -55,6 +56,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		metricsOut = fs.String("metrics", "", "write a plain-text metrics snapshot ('-' for stderr)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the analysis")
+		obsListen  = fs.String("obs-listen", "", "serve live telemetry on this address: /metrics (Prometheus), /events (SSE bound trajectory), /debug/pprof")
+		obsLinger  = fs.Duration("obs-linger", 0, "with -obs-listen: keep serving telemetry this long after the analysis completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +103,28 @@ func run(args []string, stdout io.Writer) (err error) {
 				err = werr
 			}
 		}()
+	}
+	if *obsListen != "" {
+		if metrics == nil {
+			metrics = mpmcs4fta.NewMetrics()
+			opts.Metrics = metrics
+		}
+		bus := mpmcs4fta.NewEventBus()
+		opts.Bus = bus
+		srv := mpmcs4fta.NewObsServer(metrics, bus)
+		bound, serr := srv.Start(*obsListen)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		defer func() {
+			// Linger so scrapers and ftmon can still read the terminal
+			// frame from the replay ring after a fast analysis.
+			if *obsLinger > 0 {
+				time.Sleep(*obsLinger)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "mpmcs4fta: telemetry on http://%s/metrics and http://%s/events\n", bound, bound)
 	}
 	if *pprofAddr != "" {
 		bound, stop, perr := obs.StartPprofServer(*pprofAddr)

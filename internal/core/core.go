@@ -65,8 +65,15 @@ type Options struct {
 	// the per-engine portfolio race. Nil disables tracing at zero cost.
 	Tracer obs.Tracer
 	// Metrics, when non-nil, accumulates process-level counters
-	// (analyses, winner tallies, solver work) across calls.
+	// (analyses, winner tallies, solver work) across calls, and is
+	// plumbed into the solvers to record live histograms (SAT-call
+	// latency, learnt-clause lengths, trail depths).
 	Metrics *obs.Metrics
+	// Bus, when non-nil, receives live solver events — solve and engine
+	// lifecycle, bound improvements, restarts, heartbeats — while the
+	// analysis runs (see obs.EventBus and obs.Server). Nil disables the
+	// event path at zero cost.
+	Bus *obs.EventBus
 }
 
 func (o Options) withDefaults() Options {
@@ -325,11 +332,51 @@ func Analyze(ctx context.Context, tree *ft.Tree, opts Options) (*Solution, error
 	return solution, nil
 }
 
+// solveInstance runs Step 5 on an encoded instance. It is the lowest
+// common choke point of every analysis flavour, so the live-telemetry
+// plumbing happens here: the bus and metrics registry ride the context
+// into the portfolio and its engines, and each solve is bracketed by
+// SolveStarted / SolveFinished events — the terminal frame /events
+// subscribers wait for.
 func solveInstance(ctx context.Context, inst *cnf.WCNF, opts Options) (maxsat.Result, portfolio.Report, error) {
-	if opts.Sequential {
-		return portfolio.SolveSequential(ctx, inst, opts.Engines)
+	bus := opts.Bus
+	if bus.Enabled() {
+		ctx = obs.ContextWithBus(ctx, bus)
+		bus.Publish(obs.SolveStarted{
+			Vars:        inst.NumVars,
+			HardClauses: len(inst.Hard),
+			SoftClauses: len(inst.Soft),
+			Engines:     len(opts.Engines),
+		})
 	}
-	return portfolio.Solve(ctx, inst, opts.Engines)
+	if opts.Metrics != nil {
+		ctx = obs.ContextWithMetrics(ctx, opts.Metrics)
+	}
+	start := time.Now()
+	var (
+		res    maxsat.Result
+		report portfolio.Report
+		err    error
+	)
+	if opts.Sequential {
+		res, report, err = portfolio.SolveSequential(ctx, inst, opts.Engines)
+	} else {
+		res, report, err = portfolio.Solve(ctx, inst, opts.Engines)
+	}
+	if bus.Enabled() {
+		finished := obs.SolveFinished{
+			Status:     res.Status.String(),
+			Winner:     report.Winner,
+			Cost:       res.Cost,
+			LowerBound: res.LowerBound,
+			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if err != nil {
+			finished.Err = err.Error()
+		}
+		bus.Publish(finished)
+	}
+	return res, report, err
 }
 
 // solveSpanned wraps Step 5 in a "solve" span; the span rides the

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"testing"
+	"time"
 
 	"mpmcs4fta/internal/gen"
 	"mpmcs4fta/internal/obs"
@@ -139,5 +140,99 @@ func TestAnalyzeNoTracerZeroStepAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("disabled tracing path allocates %v objects per analysis, want 0", allocs)
+	}
+}
+
+// TestAnalyzeEventStream runs a full portfolio solve with a live event
+// bus attached and checks the acceptance contract of the /events
+// stream: a solveStarted opener, strictly increasing sequence numbers,
+// a monotone bound trajectory (upper bounds never rise, lower bounds
+// never fall — BoundImproved is published under the Bounds lock), and
+// a solveFinished terminal frame.
+func TestAnalyzeEventStream(t *testing.T) {
+	bus := obs.NewEventBus()
+	sub := bus.Subscribe(4096)
+	defer sub.Close()
+
+	sol, err := Analyze(context.Background(), gen.FPS(), Options{Bus: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []obs.Event
+	deadline := time.After(10 * time.Second)
+drain:
+	for {
+		select {
+		case ev := <-sub.Events():
+			events = append(events, ev)
+			if ev.Kind == obs.KindSolveFinished {
+				break drain
+			}
+		case <-deadline:
+			t.Fatalf("no solveFinished terminal frame; %d events so far", len(events))
+		}
+	}
+
+	if events[0].Kind != obs.KindSolveStarted {
+		t.Errorf("first event kind %q, want %q", events[0].Kind, obs.KindSolveStarted)
+	}
+	started, ok := events[0].Data.(obs.SolveStarted)
+	if !ok || started.Engines == 0 || started.Vars == 0 {
+		t.Errorf("solveStarted payload %#v, want engine and variable counts", events[0].Data)
+	}
+
+	var lastSeq uint64
+	var lastLB int64 = -1 << 62
+	var lastUB int64 = 1<<62 - 1
+	boundFrames := 0
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("sequence numbers not strictly increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.AtMS < 0 {
+			t.Fatalf("negative event timestamp %v", ev.AtMS)
+		}
+		bi, ok := ev.Data.(obs.BoundImproved)
+		if !ok {
+			continue
+		}
+		boundFrames++
+		if bi.Engine == "" {
+			t.Errorf("bound frame without engine attribution: %+v", bi)
+		}
+		if bi.Lower < lastLB {
+			t.Errorf("lower bound fell: %d after %d", bi.Lower, lastLB)
+		}
+		lastLB = bi.Lower
+		if bi.Upper >= 0 {
+			if bi.Upper > lastUB {
+				t.Errorf("upper bound rose: %d after %d", bi.Upper, lastUB)
+			}
+			lastUB = bi.Upper
+		}
+	}
+	if boundFrames == 0 {
+		t.Error("no BoundImproved frames in the stream")
+	}
+
+	fin, ok := events[len(events)-1].Data.(obs.SolveFinished)
+	if !ok {
+		t.Fatalf("terminal frame payload %#v, want SolveFinished", events[len(events)-1].Data)
+	}
+	if fin.Status != sol.Status {
+		t.Errorf("terminal frame status %q, want the solution's %q", fin.Status, sol.Status)
+	}
+	if fin.ElapsedMS < 0 {
+		t.Errorf("negative elapsed %v in terminal frame", fin.ElapsedMS)
+	}
+
+	// The winner's bound trajectory is tagged with the portfolio's
+	// registered engine name, so merged trajectories stay attributable.
+	for _, step := range sol.Stats.Solver.Bounds {
+		if step.Engine == "" {
+			t.Errorf("untagged bound step %+v in solution stats", step)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"mpmcs4fta/internal/cnf"
 	"mpmcs4fta/internal/obs"
@@ -37,6 +38,8 @@ type bbState struct {
 	stats    obs.SolverStats
 
 	prog     Progress
+	bus      *obs.EventBus // live heartbeats; nil when disabled
+	lastBeat time.Time
 	globalUB int64 // cached sibling incumbent; -1 when none
 	// minPrune is the smallest bound any prune ever used. On
 	// completion the search has proven optimum ≥ min(bestCost,
@@ -61,9 +64,15 @@ func (b *BranchBound) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, pro
 		assign:   make([]int8, inst.NumVars+1),
 		bestCost: -1,
 		prog:     prog,
+		bus:      obs.BusFromContext(ctx),
 		globalUB: -1,
 		minPrune: -1,
 	}
+	name := b.Name()
+	if n := obs.EngineNameFromContext(ctx); n != "" {
+		name = n
+	}
+	st.stats.Start(name)
 
 	// Branch on heavier variables first: variables appearing in heavy
 	// soft clauses decide more cost, so deciding them early tightens the
@@ -123,6 +132,30 @@ func (b *BranchBound) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, pro
 	return verifyResult(inst, Result{Status: Optimal, Model: st.best, Cost: st.bestCost, Stats: st.stats})
 }
 
+// maybeHeartbeat publishes the search counters at the live-telemetry
+// cadence (rate-limited like sat.Telemetry, clock consulted only at
+// the steps&511 poll boundary).
+func (st *bbState) maybeHeartbeat() {
+	if !st.bus.Enabled() {
+		return
+	}
+	now := time.Now()
+	if st.lastBeat.IsZero() {
+		st.lastBeat = now
+		return
+	}
+	if now.Sub(st.lastBeat) < 500*time.Millisecond {
+		return
+	}
+	st.lastBeat = now
+	st.bus.Publish(obs.Heartbeat{
+		Engine:       st.stats.Engine(),
+		Conflicts:    st.stats.Conflicts,
+		Decisions:    st.stats.Decisions,
+		Propagations: st.stats.Propagations,
+	})
+}
+
 // pruneBound is the effective upper bound to prune against: the lower
 // of the engine's own incumbent and the cached global one; -1 = none.
 func (st *bbState) pruneBound() int64 {
@@ -149,6 +182,7 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 				st.globalUB = cost
 			}
 		}
+		st.maybeHeartbeat()
 	}
 
 	// Unit propagation on hard clauses; trail records for undo.

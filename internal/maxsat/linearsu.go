@@ -3,6 +3,7 @@ package maxsat
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mpmcs4fta/internal/cnf"
 	"mpmcs4fta/internal/obs"
@@ -42,6 +43,7 @@ func (l *LinearSU) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog P
 	}
 	var stats obs.SolverStats
 	s := sat.New(inst.NumVars, l.SatOptions)
+	satSecs := liveTelemetry(ctx, &stats, l.Name(), s)
 	for _, c := range inst.Hard {
 		if !s.AddClause(c...) {
 			return Result{Status: Infeasible}, nil
@@ -131,7 +133,14 @@ func (l *LinearSU) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog P
 		if err := ctx.Err(); err != nil {
 			return interrupted(fmt.Errorf("%w: %v", sat.ErrInterrupted, err))
 		}
+		var callStart time.Time
+		if satSecs != nil {
+			callStart = time.Now()
+		}
 		status, err := s.Solve(ctx)
+		if satSecs != nil {
+			satSecs.Observe(time.Since(callStart).Seconds())
+		}
 		addSATCall(&stats, s.ResetStats())
 		if err != nil {
 			return interrupted(err)

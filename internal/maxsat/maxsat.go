@@ -163,6 +163,43 @@ func verifyResult(inst *cnf.WCNF, res Result) (Result, error) {
 	return res, nil
 }
 
+// Registry names of the live solver distributions engines record when
+// an obs.Metrics travels in the context (obs.ContextWithMetrics).
+const (
+	// MetricSATCallSeconds is the per-SAT-call latency histogram.
+	MetricSATCallSeconds = "solver.sat_call_seconds"
+	// MetricLearntLength is the learnt conflict-clause length histogram.
+	MetricLearntLength = "solver.learnt_clause_length"
+	// MetricTrailDepth is the assignment-trail depth histogram, sampled
+	// at solver heartbeats.
+	MetricTrailDepth = "solver.trail_depth"
+)
+
+// liveTelemetry resolves the context's live-instrumentation plumbing
+// once per engine run: it names the stats trajectory, installs solver
+// telemetry (bus heartbeats and restart events plus hot-path
+// histograms) on the SAT solver when one is given, and returns the
+// per-SAT-call latency histogram — nil when metrics are disabled,
+// which Histogram.Observe tolerates, but callers should skip the
+// time.Now pair on nil to keep the disabled path free.
+func liveTelemetry(ctx context.Context, stats *obs.SolverStats, engine string, s *sat.Solver) (satSecs *obs.Histogram) {
+	if n := obs.EngineNameFromContext(ctx); n != "" {
+		engine = n
+	}
+	stats.Start(engine)
+	bus := obs.BusFromContext(ctx)
+	m := obs.MetricsFromContext(ctx)
+	if s != nil && (bus.Enabled() || m != nil) {
+		s.SetTelemetry(&sat.Telemetry{
+			Bus:        bus,
+			Engine:     engine,
+			LearntLen:  m.Histogram(MetricLearntLength, obs.LengthBuckets),
+			TrailDepth: m.Histogram(MetricTrailDepth, obs.DepthBuckets),
+		})
+	}
+	return m.Histogram(MetricSATCallSeconds, obs.DurationBuckets)
+}
+
 // addSATCall folds one SAT call's counter snapshot into the engine's
 // running statistics.
 func addSATCall(dst *obs.SolverStats, d sat.Stats) {

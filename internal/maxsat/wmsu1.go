@@ -3,6 +3,7 @@ package maxsat
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mpmcs4fta/internal/cnf"
 	"mpmcs4fta/internal/obs"
@@ -103,6 +104,7 @@ func (w *WMSU1) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog Prog
 		bestCost int64 = -1
 		stats    obs.SolverStats
 	)
+	satSecs := liveTelemetry(ctx, &stats, w.Name(), s)
 	// interrupted preserves whatever the engine has proven so far: the
 	// stratified loop's intermediate models become a Feasible answer,
 	// and the accumulated core payments ride along as the lower bound
@@ -126,7 +128,14 @@ func (w *WMSU1) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog Prog
 			assumps = append(assumps, soft.selector.Neg())
 			selToIdx[soft.selector] = i
 		}
+		var callStart time.Time
+		if satSecs != nil {
+			callStart = time.Now()
+		}
 		status, err := s.Solve(ctx, assumps...)
+		if satSecs != nil {
+			satSecs.Observe(time.Since(callStart).Seconds())
+		}
 		addSATCall(&stats, s.ResetStats())
 		if err != nil {
 			return interrupted(err)

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventBusNilSafe(t *testing.T) {
+	var b *EventBus
+	if b.Enabled() {
+		t.Fatal("nil bus reports enabled")
+	}
+	b.Publish(Heartbeat{Engine: "x"}) // must not panic
+	if sub := b.Subscribe(8); sub != nil {
+		t.Fatal("nil bus handed out a subscription")
+	}
+	if b.Published() != 0 || b.Dropped() != 0 || b.Subscribers() != 0 || b.QueueDepth() != 0 {
+		t.Fatal("nil bus reports non-zero state")
+	}
+	if b.Replay() != nil {
+		t.Fatal("nil bus has a replay ring")
+	}
+	var s *Subscription
+	s.Close() // must not panic
+	if s.Events() != nil || s.Dropped() != 0 {
+		t.Fatal("nil subscription misbehaves")
+	}
+}
+
+func TestEventBusPublishSubscribe(t *testing.T) {
+	b := NewEventBus()
+	sub := b.Subscribe(16)
+	defer sub.Close()
+
+	b.Publish(EngineStarted{Engine: "wmsu1"})
+	b.Publish(BoundImproved{Engine: "wmsu1", Lower: 3, Upper: 10})
+
+	ev := <-sub.Events()
+	if ev.Seq != 1 || ev.Kind != KindEngineStarted {
+		t.Fatalf("first event = %+v, want seq 1 kind %s", ev, KindEngineStarted)
+	}
+	ev = <-sub.Events()
+	if ev.Seq != 2 || ev.Kind != KindBoundImproved {
+		t.Fatalf("second event = %+v, want seq 2 kind %s", ev, KindBoundImproved)
+	}
+	bi, ok := ev.Data.(BoundImproved)
+	if !ok || bi.Lower != 3 || bi.Upper != 10 {
+		t.Fatalf("payload = %#v, want the published BoundImproved", ev.Data)
+	}
+	if ev.AtMS < 0 {
+		t.Fatalf("negative event timestamp %v", ev.AtMS)
+	}
+	if got := b.Published(); got != 2 {
+		t.Fatalf("Published() = %d, want 2", got)
+	}
+}
+
+// TestEventBusReplay: a subscriber arriving after the events still sees
+// the recent history — what makes a late /events connection useful.
+func TestEventBusReplay(t *testing.T) {
+	b := NewEventBusRing(4)
+	for i := int64(1); i <= 6; i++ {
+		b.Publish(BoundImproved{Lower: i, Upper: 100})
+	}
+	sub := b.Subscribe(16)
+	defer sub.Close()
+	// Ring capacity 4: events 3..6 survive.
+	for want := int64(3); want <= 6; want++ {
+		ev := <-sub.Events()
+		if ev.Data.(BoundImproved).Lower != want {
+			t.Fatalf("replayed event lower = %d, want %d", ev.Data.(BoundImproved).Lower, want)
+		}
+	}
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("unexpected extra replay event %+v", ev)
+	default:
+	}
+}
+
+// TestEventBusReplayLargerThanBuffer: replay must not deadlock when the
+// ring holds more events than the subscriber's channel.
+func TestEventBusReplayLargerThanBuffer(t *testing.T) {
+	b := NewEventBus()
+	for i := int64(0); i < 100; i++ {
+		b.Publish(Heartbeat{Conflicts: i})
+	}
+	sub := b.Subscribe(8)
+	defer sub.Close()
+	// Only the newest 8 fit: conflicts 92..99.
+	first := <-sub.Events()
+	if got := first.Data.(Heartbeat).Conflicts; got != 92 {
+		t.Fatalf("first replayed heartbeat conflicts = %d, want 92", got)
+	}
+}
+
+// TestEventBusSlowSubscriberDrops: a subscriber that stops reading
+// loses events but never blocks Publish.
+func TestEventBusSlowSubscriberDrops(t *testing.T) {
+	b := NewEventBusRing(0)
+	sub := b.Subscribe(2)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(Heartbeat{Conflicts: int64(i)}) // would deadlock if sends blocked
+	}
+	if got := b.Dropped(); got != 8 {
+		t.Fatalf("bus dropped %d events, want 8", got)
+	}
+	if got := sub.Dropped(); got != 8 {
+		t.Fatalf("subscription dropped %d events, want 8", got)
+	}
+	if depth := b.QueueDepth(); depth != 2 {
+		t.Fatalf("queue depth %d, want 2", depth)
+	}
+}
+
+func TestEventBusCloseIdempotent(t *testing.T) {
+	b := NewEventBus()
+	sub := b.Subscribe(4)
+	sub.Close()
+	sub.Close() // second close must not panic
+	if n := b.Subscribers(); n != 0 {
+		t.Fatalf("%d subscribers after close, want 0", n)
+	}
+	b.Publish(Heartbeat{}) // publishing after close must not panic
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("closed subscription channel still delivers")
+	}
+}
+
+// TestEventBusConcurrentPublishers hammers the bus from many
+// goroutines while subscribers churn — the -race workout backing the
+// portfolio's concurrent publishing paths.
+func TestEventBusConcurrentPublishers(t *testing.T) {
+	b := NewEventBus()
+	const publishers = 8
+	const perPublisher = 500
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish(BoundImproved{Engine: "e", Lower: id, Upper: int64(i)})
+			}
+		}(int64(p))
+	}
+	// Subscribers connect, read a little, and walk away mid-stream.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := b.Subscribe(32)
+			timeout := time.After(2 * time.Second)
+		read:
+			// Drain up to 50 events; publishers may already be done, so a
+			// bare receive could block forever — bail out on the timer.
+			for i := 0; i < 50; i++ {
+				select {
+				case _, ok := <-sub.Events():
+					if !ok {
+						break read
+					}
+				case <-timeout:
+					break read
+				}
+			}
+			sub.Close()
+		}()
+	}
+	wg.Wait()
+	if got := b.Published(); got != publishers*perPublisher {
+		t.Fatalf("Published() = %d, want %d", got, publishers*perPublisher)
+	}
+	if n := b.Subscribers(); n != 0 {
+		t.Fatalf("%d subscribers left registered, want 0", n)
+	}
+}
+
+// TestEventBusSequenceMonotone: sequence numbers observed by one
+// subscriber strictly increase even under concurrent publishing.
+func TestEventBusSequenceMonotone(t *testing.T) {
+	b := NewEventBusRing(0)
+	sub := b.Subscribe(4096)
+	defer sub.Close()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				b.Publish(Heartbeat{})
+			}
+		}()
+	}
+	wg.Wait()
+	var last uint64
+	for i := 0; i < 4*256; i++ {
+		ev := <-sub.Events()
+		if ev.Seq <= last {
+			t.Fatalf("sequence went from %d to %d", last, ev.Seq)
+		}
+		last = ev.Seq
+	}
+}

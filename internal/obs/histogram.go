@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution recorder sized for solver
+// hot paths: Observe is lock-free (one atomic add per bucket plus a
+// CAS loop for the sum) so the SAT search loop can record
+// conflict-clause lengths without contending with the /metrics
+// scraper. Buckets follow the Prometheus convention: bucket i counts
+// observations ≤ bounds[i], and a final implicit +Inf bucket catches
+// the rest.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, immutable after creation
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram returns a histogram over the given sorted upper bounds.
+// The bounds slice is not copied; do not mutate it afterwards.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+}
+
+// Observe records one value. No-op on a nil receiver, so call sites
+// can hold a possibly-nil *Histogram and record unconditionally.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Snapshot returns the bucket upper bounds and the cumulative count at
+// or below each bound (Prometheus le= semantics), excluding the +Inf
+// bucket whose cumulative count is Count().
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = h.bounds
+	cumulative = make([]int64, len(h.bounds))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return bounds, cumulative
+}
+
+// Default bucket sets for the solver's three live distributions. All
+// are coarse on purpose: the histograms answer "did the distribution
+// shift", not "what is the p99 exactly".
+var (
+	// DurationBuckets covers per-SAT-call latency in seconds, from
+	// sub-millisecond incremental calls to multi-minute hard instances.
+	DurationBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300}
+	// LengthBuckets covers learnt conflict-clause lengths in literals.
+	LengthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	// DepthBuckets covers queue/trail depths.
+	DepthBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+)

@@ -8,18 +8,27 @@ import (
 	"sync"
 )
 
-// Metrics is a small named-counter registry — the process-level
-// aggregate view that complements per-analysis traces. All methods are
-// safe for concurrent use and safe on a nil receiver (a nil *Metrics
-// is the disabled state, so callers can record unconditionally).
+// Metrics is a small named-metric registry — counters, gauges and
+// histograms — the process-level aggregate view that complements
+// per-analysis traces. All methods are safe for concurrent use and
+// safe on a nil receiver (a nil *Metrics is the disabled state, so
+// callers can record unconditionally). Hot paths should look up a
+// *Histogram handle once (Histogram) and Observe on it directly
+// rather than going through the registry map per observation.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]int64 // guarded by mu
+	mu         sync.Mutex
+	counters   map[string]int64      // guarded by mu
+	gauges     map[string]float64    // guarded by mu
+	histograms map[string]*Histogram // guarded by mu; values are internally atomic
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{counters: make(map[string]int64)}
+	return &Metrics{
+		counters:   make(map[string]int64),
+		gauges:     make(map[string]float64),
+		histograms: make(map[string]*Histogram),
+	}
 }
 
 // Add increments the named counter by delta. No-op on a nil receiver.
@@ -42,6 +51,53 @@ func (m *Metrics) Get(name string) int64 {
 	return m.counters[name]
 }
 
+// SetGauge sets the named gauge to the given value. No-op on a nil
+// receiver.
+func (m *Metrics) SetGauge(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Gauge returns the named gauge's value (0 when absent or nil).
+func (m *Metrics) Gauge(name string) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Subsequent calls ignore the bounds and
+// return the existing histogram, so concurrent callers agree on one
+// instance. Returns nil on a nil receiver — and Histogram.Observe is
+// nil-safe, so the handle can be used unconditionally.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// Observe records one value into the named histogram, creating it with
+// the given bounds on first use. Convenience for cold paths; hot paths
+// should cache the Histogram handle.
+func (m *Metrics) Observe(name string, bounds []float64, v float64) {
+	m.Histogram(name, bounds).Observe(v)
+}
+
 // Snapshot returns a copy of all counters.
 func (m *Metrics) Snapshot() map[string]int64 {
 	if m == nil {
@@ -56,8 +112,40 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	return out
 }
 
-// WriteText writes a plain-text snapshot, one "name value" line per
-// counter, sorted by name — the format the CLI --metrics flag emits.
+// GaugeSnapshot returns a copy of all gauges.
+func (m *Metrics) GaugeSnapshot() map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.gauges))
+	for k, v := range m.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// histogramSnapshot returns the histogram handles under the lock; the
+// handles themselves are safe to read concurrently.
+func (m *Metrics) histogramSnapshot() map[string]*Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]*Histogram, len(m.histograms))
+	for k, v := range m.histograms {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteText writes a plain-text snapshot of the counters, one
+// "name value" line per counter, sorted by name — the format the CLI
+// --metrics flag emits. Gauges follow as "name value" with a float
+// value, then histograms as "name_count"/"name_sum" summary lines; the
+// full bucket breakdown is Prometheus-only (WritePrometheus).
 func (m *Metrics) WriteText(w io.Writer) error {
 	snap := m.Snapshot()
 	names := make([]string, 0, len(snap))
@@ -67,6 +155,29 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		if _, err := fmt.Fprintf(w, "%s %d\n", k, snap[k]); err != nil {
+			return err
+		}
+	}
+	gauges := m.GaugeSnapshot()
+	names = names[:0]
+	for k := range gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %g\n", k, gauges[k]); err != nil {
+			return err
+		}
+	}
+	hists := m.histogramSnapshot()
+	names = names[:0]
+	for k := range hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := hists[k]
+		if _, err := fmt.Fprintf(w, "%s_count %d\n%s_sum %g\n", k, h.Count(), k, h.Sum()); err != nil {
 			return err
 		}
 	}

@@ -227,3 +227,65 @@ func TestStartCPUProfile(t *testing.T) {
 		t.Errorf("error %v", err)
 	}
 }
+
+// TestSolverStatsEngineTagging covers the bound-trajectory attribution
+// added for the live telemetry stream: Start names the engine, every
+// recorded step carries the engine tag and a wall-clock stamp, and
+// TagEngine retags already-recorded steps (the portfolio renames
+// trajectories under its registered engine names).
+func TestSolverStatsEngineTagging(t *testing.T) {
+	var s SolverStats
+	s.Start("wmsu1")
+	if s.Engine() != "wmsu1" {
+		t.Fatalf("Engine() = %q after Start, want wmsu1", s.Engine())
+	}
+	s.RecordBound(1, 0, 9)
+	s.RecordBound(2, 3, 7)
+	for i, step := range s.Bounds {
+		if step.Engine != "wmsu1" {
+			t.Errorf("step %d engine %q, want wmsu1", i, step.Engine)
+		}
+		if step.AtMS < 0 {
+			t.Errorf("step %d has negative wall-clock stamp %v", i, step.AtMS)
+		}
+	}
+
+	s.TagEngine("wmsu1-strat")
+	if s.Engine() != "wmsu1-strat" {
+		t.Errorf("Engine() = %q after TagEngine, want wmsu1-strat", s.Engine())
+	}
+	for i, step := range s.Bounds {
+		if step.Engine != "wmsu1-strat" {
+			t.Errorf("step %d engine %q after retag, want wmsu1-strat", i, step.Engine)
+		}
+	}
+}
+
+// TestSolverStatsAddKeepsEngineTags: merged trajectories must stay
+// attributable — concatenation is only sound because each BoundStep
+// carries its own engine tag.
+func TestSolverStatsAddKeepsEngineTags(t *testing.T) {
+	var a, b SolverStats
+	a.Start("linear-su")
+	a.RecordBound(1, 0, 5)
+	b.Start("branch-bound")
+	b.RecordBound(1, 2, 4)
+	a.Add(b)
+	if len(a.Bounds) != 2 {
+		t.Fatalf("merged %d bound steps, want 2", len(a.Bounds))
+	}
+	if a.Bounds[0].Engine != "linear-su" || a.Bounds[1].Engine != "branch-bound" {
+		t.Errorf("merged trajectory lost attribution: %+v", a.Bounds)
+	}
+}
+
+// TestSolverStatsRecordBoundWithoutStart: standalone engine use (no
+// portfolio, no Start call) must still stamp timestamps lazily and
+// leave the engine tag empty rather than panic.
+func TestSolverStatsRecordBoundWithoutStart(t *testing.T) {
+	var s SolverStats
+	s.RecordBound(1, 1, 2)
+	if len(s.Bounds) != 1 || s.Bounds[0].AtMS < 0 {
+		t.Fatalf("lazy clock failed: %+v", s.Bounds)
+	}
+}

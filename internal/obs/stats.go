@@ -1,5 +1,7 @@
 package obs
 
+import "time"
+
 // SolverStats aggregates the work counters of one MaxSAT engine run —
 // the per-call statistics the MaxSAT-evaluation literature uses to
 // characterise solvers. Engines fill it in even when interrupted, so
@@ -19,12 +21,24 @@ type SolverStats struct {
 	LearntClauses  int64 `json:"learntClauses"`
 	DeletedClauses int64 `json:"deletedClauses"`
 	// Bounds is the cost-bound trajectory: how the engine closed in on
-	// the optimum, one step per bound improvement.
+	// the optimum, one step per bound improvement. Steps carry the
+	// recording engine's name, so trajectories merged by Add stay
+	// separable into per-engine series.
 	Bounds []BoundStep `json:"bounds,omitempty"`
+
+	// engine names the run for BoundStep tagging; set by Start or
+	// TagEngine, never serialised (each step carries its own copy).
+	engine string
+	// t0 anchors BoundStep wall-clock stamps; zero means "first
+	// RecordBound starts the clock".
+	t0 time.Time
 }
 
 // BoundStep is one point of an engine's cost-bound trajectory.
 type BoundStep struct {
+	// Engine names the engine that recorded the step, so trajectories
+	// aggregated across portfolio members remain plottable per engine.
+	Engine string `json:"engine,omitempty"`
 	// Call is the engine's progress index when the bound moved: the
 	// SAT-call count for SAT-backed engines, the decision count for
 	// branch-and-bound.
@@ -33,12 +47,50 @@ type BoundStep struct {
 	Lower int64 `json:"lower"`
 	// Upper is the best model cost found so far; -1 means no model yet.
 	Upper int64 `json:"upper"`
+	// AtMS is the wall-clock offset of the step in milliseconds since
+	// the engine started, aligning trajectories from stats, JSON traces
+	// and the /events stream on one time axis.
+	AtMS float64 `json:"atMillis"`
 }
 
-// RecordBound appends a trajectory step.
-func (s *SolverStats) RecordBound(call, lower, upper int64) {
-	s.Bounds = append(s.Bounds, BoundStep{Call: call, Lower: lower, Upper: upper})
+// Start names the run and starts its trajectory clock; call it at
+// engine entry so BoundSteps carry the engine tag and a wall-clock
+// offset.
+func (s *SolverStats) Start(engine string) {
+	s.engine = engine
+	s.t0 = time.Now()
 }
+
+// RecordBound appends a trajectory step, stamped with the engine name
+// and the milliseconds since Start (the first step starts the clock if
+// Start was never called).
+func (s *SolverStats) RecordBound(call, lower, upper int64) {
+	now := time.Now()
+	if s.t0.IsZero() {
+		s.t0 = now
+	}
+	s.Bounds = append(s.Bounds, BoundStep{
+		Engine: s.engine,
+		Call:   call,
+		Lower:  lower,
+		Upper:  upper,
+		AtMS:   sinceMillis(s.t0, now),
+	})
+}
+
+// TagEngine renames the run and restamps every recorded step: the
+// portfolio registers engines under configuration-specific names
+// ("linear-su-rnd") the algorithm itself does not know, so it retags
+// collected stats after the race.
+func (s *SolverStats) TagEngine(engine string) {
+	s.engine = engine
+	for i := range s.Bounds {
+		s.Bounds[i].Engine = engine
+	}
+}
+
+// Engine returns the run's engine tag.
+func (s *SolverStats) Engine() string { return s.engine }
 
 // BoundTraffic counts cooperative bound-sharing events in a portfolio
 // race: how often engines published improving models and lower bounds
@@ -63,9 +115,12 @@ type BoundTraffic struct {
 	RaceClosedByBounds bool `json:"raceClosedByBounds,omitempty"`
 }
 
-// Add accumulates another run's counters into s; the bound trajectory
-// is concatenated. Useful for aggregating across portfolio members or
-// successive analyses.
+// Add accumulates another run's counters into s. Bound trajectories
+// are concatenated, but each step keeps its engine tag, so the merged
+// series separates back into per-engine trajectories (interleaving
+// untagged steps from different engines would yield a meaningless
+// non-monotone series). Useful for aggregating across portfolio
+// members or successive analyses.
 func (s *SolverStats) Add(o SolverStats) {
 	s.SATCalls += o.SATCalls
 	s.Conflicts += o.Conflicts

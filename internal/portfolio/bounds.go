@@ -32,6 +32,13 @@ type Bounds struct {
 	closed  bool             // guarded by mu
 	onClose func()           // guarded by mu
 	traffic obs.BoundTraffic // guarded by mu
+
+	// bus receives a BoundImproved event for every actual tightening.
+	// Events are published while holding mu — the bus has its own
+	// independent lock and never calls back — so the event stream is
+	// monotone: UB frames never increase, LB frames never decrease,
+	// even with every engine publishing concurrently.
+	bus *obs.EventBus
 }
 
 // NewBounds returns an empty bound manager. onClose (may be nil) is
@@ -41,11 +48,16 @@ func NewBounds(onClose func()) *Bounds {
 	return &Bounds{onClose: onClose}
 }
 
+// SetEventBus attaches a live-telemetry bus (nil detaches). Call
+// before the race starts; publications are not synchronised with it.
+func (b *Bounds) SetEventBus(bus *obs.EventBus) { b.bus = bus }
+
 // publishModel records a feasible model if it improves the incumbent.
 func (b *Bounds) publishModel(owner string, cost int64, model []bool) {
 	b.mu.Lock()
 	b.traffic.ModelsPublished++
-	if !b.ubSet || cost < b.ub {
+	improved := !b.ubSet || cost < b.ub
+	if improved {
 		b.ubSet = true
 		b.ub = cost
 		b.model = model
@@ -53,6 +65,9 @@ func (b *Bounds) publishModel(owner string, cost int64, model []bool) {
 		b.traffic.ModelsImproved++
 	}
 	fire := b.checkMeetLocked()
+	if improved && b.bus.Enabled() {
+		b.bus.Publish(obs.BoundImproved{Engine: owner, Lower: b.lb, Upper: b.ub, Closed: fire != nil})
+	}
 	b.mu.Unlock()
 	if fire != nil {
 		fire()
@@ -61,14 +76,22 @@ func (b *Bounds) publishModel(owner string, cost int64, model []bool) {
 
 // publishLower records a proven lower bound if it improves the global
 // one.
-func (b *Bounds) publishLower(lb int64) {
+func (b *Bounds) publishLower(owner string, lb int64) {
 	b.mu.Lock()
 	b.traffic.LowerBoundsPublished++
-	if lb > b.lb {
+	improved := lb > b.lb
+	if improved {
 		b.lb = lb
 		b.traffic.LowerBoundsImproved++
 	}
 	fire := b.checkMeetLocked()
+	if improved && b.bus.Enabled() {
+		upper := b.ub
+		if !b.ubSet {
+			upper = -1
+		}
+		b.bus.Publish(obs.BoundImproved{Engine: owner, Lower: b.lb, Upper: upper, Closed: fire != nil})
+	}
 	b.mu.Unlock()
 	if fire != nil {
 		fire()
@@ -144,7 +167,7 @@ func (p engineProgress) PublishModel(cost int64, model []bool) {
 }
 
 func (p engineProgress) PublishLower(lb int64) {
-	p.bounds.publishLower(lb)
+	p.bounds.publishLower(p.name, lb)
 }
 
 func (p engineProgress) BestKnown() (int64, bool) { return p.bounds.BestKnown() }

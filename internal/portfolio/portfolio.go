@@ -137,6 +137,9 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 	bounds := NewBounds(cancel)
 
 	parent := obs.SpanFromContext(ctx)
+	bus := obs.BusFromContext(ctx)
+	bounds.SetEventBus(bus)
+	telemetryOn := bus.Enabled() || obs.MetricsFromContext(ctx) != nil
 
 	type outcome struct {
 		result  maxsat.Result
@@ -156,8 +159,27 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 		span := parent.StartSpan("engine:" + engine.Name)
 		go func(index int, e Engine, copyInst *cnf.WCNF, span obs.Span) {
 			defer wg.Done()
+			engineCtx := runCtx
+			if telemetryOn {
+				engineCtx = obs.ContextWithEngineName(runCtx, e.Name)
+			}
+			if bus.Enabled() {
+				bus.Publish(obs.EngineStarted{Engine: e.Name})
+			}
 			t0 := time.Now()
-			res, err := solveIsolated(runCtx, e.Solver, copyInst, bounds.ForEngine(e.Name))
+			res, err := solveIsolated(engineCtx, e.Solver, copyInst, bounds.ForEngine(e.Name))
+			if bus.Enabled() {
+				finished := obs.EngineFinished{
+					Engine:     e.Name,
+					Status:     res.Status.String(),
+					Cost:       res.Cost,
+					LowerBound: res.LowerBound,
+				}
+				if err != nil {
+					finished.Err = err.Error()
+				}
+				bus.Publish(finished)
+			}
 			recordEngineSpan(span, res, err)
 			results <- indexed{index: index, outcome: outcome{result: res, err: err, elapsed: time.Since(t0)}}
 		}(i, engine, inst.Clone(), span)
@@ -195,6 +217,12 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 	for i, out := range outcomes {
 		rep := &report.Engines[i]
 		rep.Elapsed = out.elapsed
+		// Retag under the portfolio's registered name: standalone engines
+		// only know their algorithm name, and diversified variants
+		// ("linear-su-rnd") would otherwise collide in aggregated
+		// trajectories. Tag the outcome first so the report and a
+		// returned winner result carry identical stats.
+		out.result.Stats.TagEngine(engines[i].Name)
 		rep.Stats = out.result.Stats
 		rep.Status = out.result.Status
 		rep.Cost = out.result.Cost
@@ -345,6 +373,7 @@ func SolveSequential(ctx context.Context, inst *cnf.WCNF, engines []Engine) (max
 		recordEngineSpan(span, res, err)
 		rep := &report.Engines[i]
 		rep.Elapsed = time.Since(t0)
+		res.Stats.TagEngine(engine.Name)
 		rep.Stats = res.Stats
 		rep.Status = res.Status
 		rep.Cost = res.Cost

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"mpmcs4fta/internal/cnf"
+	"mpmcs4fta/internal/obs"
 )
 
 // Status is the outcome of a Solve call.
@@ -135,6 +137,10 @@ type Solver struct {
 	budgetRefresh func() (int64, bool)
 
 	stats Stats
+
+	// Live telemetry (see SetTelemetry); nil when disabled.
+	tel      *Telemetry
+	lastBeat time.Time
 }
 
 // New returns a solver over variables 1..numVars (DIMACS numbering).
@@ -910,6 +916,13 @@ func (s *Solver) Solve(ctx context.Context, assumptions ...cnf.Lit) (Status, err
 		}
 		restarts++
 		s.stats.Restarts++
+		if t := s.tel; t != nil && t.Bus.Enabled() {
+			t.Bus.Publish(obs.RestartFired{
+				Engine:    t.Engine,
+				Restarts:  s.stats.Restarts,
+				Conflicts: s.stats.Conflicts,
+			})
+		}
 	}
 }
 
@@ -928,6 +941,9 @@ func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error
 				return Unsat, nil
 			}
 			learnt, btLevel := s.analyze(confl)
+			if s.tel != nil {
+				s.tel.LearntLen.Observe(float64(len(learnt)))
+			}
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
@@ -945,6 +961,7 @@ func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error
 				if err := ctx.Err(); err != nil {
 					return Unknown, fmt.Errorf("%w: %v", ErrInterrupted, err)
 				}
+				s.maybeHeartbeat()
 			}
 			continue
 		}
@@ -988,6 +1005,7 @@ func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error
 				if err := ctx.Err(); err != nil {
 					return Unknown, fmt.Errorf("%w: %v", ErrInterrupted, err)
 				}
+				s.maybeHeartbeat()
 			}
 		}
 		s.newDecisionLevel()

@@ -101,6 +101,16 @@ type (
 	// BoundTraffic counts the cooperative bound exchanges of a portfolio
 	// race (models and lower bounds published/improved, race closure).
 	BoundTraffic = obs.BoundTraffic
+	// EventBus streams live solver events (bound improvements, engine
+	// lifecycle, heartbeats) to concurrent subscribers; set Options.Bus
+	// to watch a solve converge in flight.
+	EventBus = obs.EventBus
+	// Event is the envelope of one live solver event.
+	Event = obs.Event
+	// ObsServer serves /metrics (Prometheus), /events (SSE) and
+	// /debug/pprof over a bus and metrics registry — the endpoint behind
+	// the CLIs' --obs-listen flag.
+	ObsServer = obs.Server
 )
 
 // Gate kinds.
@@ -125,6 +135,14 @@ func NewJSONTracer() *JSONTracer { return obs.NewJSONTracer() }
 
 // NewMetrics returns an empty counter registry for Options.Metrics.
 func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewEventBus returns an enabled live-telemetry bus for Options.Bus.
+func NewEventBus() *EventBus { return obs.NewEventBus() }
+
+// NewObsServer returns an unstarted telemetry server over the registry
+// and bus (either may be nil); start with Start(addr), stop with
+// Close.
+func NewObsServer(m *Metrics, bus *EventBus) *ObsServer { return obs.NewServer(m, bus) }
 
 // LoadTreeJSON parses and validates a fault tree from its JSON format.
 func LoadTreeJSON(r io.Reader) (*Tree, error) { return ft.ReadJSON(r) }

@@ -219,8 +219,9 @@ func render(ev event, quiet bool) string {
 		if json.Unmarshal(ev.Data, &p) != nil {
 			break
 		}
-		return fmt.Sprintf("%s  beat     %s conflicts=%d decisions=%d props=%d trail=%d",
-			at, p.Engine, p.Conflicts, p.Decisions, p.Propagations, p.TrailDepth)
+		return fmt.Sprintf("%s  beat     %s conflicts=%d decisions=%d props=%d trail=%d learntDB=%d arenaKiB=%d gcs=%d",
+			at, p.Engine, p.Conflicts, p.Decisions, p.Propagations, p.TrailDepth,
+			p.LearntDB, p.ArenaWords*4/1024, p.ClauseGCs)
 	}
 	return fmt.Sprintf("%s  %s", at, ev.Kind)
 }

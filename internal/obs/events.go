@@ -404,6 +404,14 @@ type Heartbeat struct {
 	// TrailDepth is the current assignment-trail length (the
 	// propagation queue's high-water view of search depth).
 	TrailDepth int `json:"trailDepth"`
+	// LearntDB is the number of learnt clauses currently retained
+	// (after deletions), as opposed to Learnt, the cumulative count.
+	LearntDB int `json:"learntDB,omitempty"`
+	// ArenaWords is the clause arena's footprint in 4-byte words — the
+	// whole clause database, live and not-yet-collected.
+	ArenaWords int `json:"arenaWords,omitempty"`
+	// ClauseGCs counts compactions of the clause arena so far.
+	ClauseGCs int64 `json:"clauseGCs,omitempty"`
 }
 
 // EventKind implements EventPayload.

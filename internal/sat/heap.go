@@ -4,19 +4,22 @@ package sat
 // It supports decrease/increase-key via the position index, which the
 // solver uses when bumping activities of variables already enqueued.
 type varHeap struct {
-	heap     []int // heap of variables
-	indices  []int // variable -> position in heap, -1 if absent
-	activity *[]float64
+	heap    []int // heap of variables
+	indices []int // variable -> position in heap, -1 if absent
+	act     []float64
 }
 
-func newVarHeap(activity *[]float64) *varHeap {
-	return &varHeap{activity: activity}
+func newVarHeap() *varHeap {
+	return &varHeap{}
 }
 
-func (h *varHeap) grow(numVars int) {
+// grow extends the position index and refreshes the activity slice
+// (whose backing array may have moved when the solver added variables).
+func (h *varHeap) grow(numVars int, act []float64) {
 	for len(h.indices) < numVars {
 		h.indices = append(h.indices, -1)
 	}
+	h.act = act
 }
 
 func (h *varHeap) contains(v int) bool { return h.indices[v] >= 0 }
@@ -24,7 +27,7 @@ func (h *varHeap) contains(v int) bool { return h.indices[v] >= 0 }
 func (h *varHeap) empty() bool { return len(h.heap) == 0 }
 
 func (h *varHeap) less(a, b int) bool {
-	return (*h.activity)[h.heap[a]] > (*h.activity)[h.heap[b]]
+	return h.act[h.heap[a]] > h.act[h.heap[b]]
 }
 
 func (h *varHeap) swap(a, b int) {

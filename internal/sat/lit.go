@@ -1,9 +1,12 @@
 // Package sat implements a conflict-driven clause-learning (CDCL) SAT
-// solver in the MiniSat lineage: two-watched-literal propagation, VSIDS
-// branching with phase saving, first-UIP clause learning with basic
-// minimisation, Luby restarts, LBD-guided learnt-clause deletion, and
-// incremental solving under assumptions with unsatisfiable-core
-// extraction.
+// solver in the MiniSat lineage: two-watched-literal propagation over an
+// arena-backed clause database (one flat []lit of headers and literals,
+// addressed by clauseRef indices, compacted by a garbage collector at
+// clause-deletion points), VSIDS branching with phase saving, first-UIP
+// clause learning with recursive (implication-graph-deep) minimisation
+// and on-the-fly binary self-subsumption, Luby restarts, LBD-guided
+// learnt-clause deletion, and incremental solving under assumptions with
+// unsatisfiable-core extraction.
 //
 // Beyond plain SAT, the solver supports one linear pseudo-Boolean budget
 // constraint (Σ wᵢ·[ℓᵢ true] ≤ bound) enforced by a dedicated propagator

@@ -83,18 +83,39 @@ type Stats struct {
 	Restarts     int64
 	Learnt       int64
 	Deleted      int64
+	// Minimized counts literals removed from learnt clauses by
+	// recursive minimisation and binary self-subsumption.
+	Minimized int64
+	// ClauseGCs counts compactions of the clause arena.
+	ClauseGCs int64
 }
 
-type clause struct {
-	lits   []lit
-	act    float64
-	lbd    int
-	learnt bool
-}
-
+// watcher pairs a clause ref with a blocker literal: when the blocker
+// is already true the clause is satisfied and need not be touched, so
+// propagation often decides on the 8-byte watcher alone without loading
+// the clause.
 type watcher struct {
-	cl      *clause
+	ref     clauseRef
 	blocker lit
+}
+
+// seen-mark states used by conflict analysis and recursive clause
+// minimisation. seenSource marks literals of the learnt clause under
+// construction; seenRemovable/seenFailed cache litRedundant verdicts
+// within one analyze call (the poison cache), so shared sub-DAGs of the
+// implication graph are classified once.
+const (
+	seenNone      byte = 0
+	seenSource    byte = 1
+	seenRemovable byte = 2
+	seenFailed    byte = 3
+)
+
+// shrinkElem is a litRedundant stack frame: resume examining the reason
+// of l at literal index i.
+type shrinkElem struct {
+	i int
+	l lit
 }
 
 // Solver is a CDCL SAT solver. It is not safe for concurrent use; run
@@ -103,12 +124,13 @@ type Solver struct {
 	opts Options
 
 	numVars   int
-	clauses   []*clause
-	learnts   []*clause
+	ca        clauseArena // flat clause store; all clause state lives here
+	clauses   []clauseRef
+	learnts   []clauseRef
 	watches   [][]watcher // indexed by lit: clauses to inspect when lit becomes true
 	assigns   []lbool     // by variable
 	level     []int
-	reason    []*clause
+	reason    []clauseRef
 	polarity  []bool // phase saving: last assigned value
 	activity  []float64
 	varInc    float64
@@ -120,7 +142,14 @@ type Solver struct {
 	trailLim []int
 	qhead    int
 
-	seen    []bool
+	seen        []byte // conflict-analysis marks, see seen* constants
+	toClear     []int  // vars whose seen mark must be reset after analyze
+	shrinkStack []shrinkElem
+	learntBuf   []lit    // reusable learnt-clause buffer
+	stamp       uint64   // shared stamp for seen2/levelStamp
+	seen2       []uint64 // var -> stamp: learnt-clause membership marks
+	levelStamp  []uint64 // level -> stamp: LBD distinct-level counting
+
 	unsat   bool // established at level 0
 	model   []bool
 	core    []cnf.Lit
@@ -135,12 +164,17 @@ type Solver struct {
 	budgetSum     int64 // weight of currently-true budgeted literals
 	hasBudget     bool
 	budgetRefresh func() (int64, bool)
+	budgetScratch []lit // reusable reason-construction buffer
 
 	stats Stats
 
 	// Live telemetry (see SetTelemetry); nil when disabled.
 	tel      *Telemetry
 	lastBeat time.Time
+
+	// testOnLearnt, when set (tests only), observes every learnt clause
+	// right after conflict analysis, before backjumping.
+	testOnLearnt func(learnt []lit, btLevel int)
 }
 
 // New returns a solver over variables 1..numVars (DIMACS numbering).
@@ -150,7 +184,7 @@ func New(numVars int, opts Options) *Solver {
 		varInc:    1,
 		clauseInc: 1,
 	}
-	s.order = newVarHeap(&s.activity)
+	s.order = newVarHeap()
 	if s.opts.RandomSeed != 0 {
 		s.rng = rand.New(rand.NewSource(s.opts.RandomSeed))
 	}
@@ -171,15 +205,19 @@ func (s *Solver) growTo(numVars int) {
 	for s.numVars < numVars {
 		s.assigns = append(s.assigns, lUndef)
 		s.level = append(s.level, 0)
-		s.reason = append(s.reason, nil)
+		s.reason = append(s.reason, refUndef)
 		s.polarity = append(s.polarity, s.opts.InitialPhase)
 		s.activity = append(s.activity, 0)
-		s.seen = append(s.seen, false)
+		s.seen = append(s.seen, seenNone)
+		s.seen2 = append(s.seen2, 0)
 		s.watches = append(s.watches, nil, nil)
 		s.budgetWeight = append(s.budgetWeight, 0, 0)
 		s.numVars++
 	}
-	s.order.grow(s.numVars)
+	for len(s.levelStamp) < s.numVars+1 {
+		s.levelStamp = append(s.levelStamp, 0)
+	}
+	s.order.grow(s.numVars, s.activity)
 	for v := 0; v < s.numVars; v++ {
 		if s.assigns[v] == lUndef {
 			s.order.insert(v)
@@ -266,16 +304,16 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		s.unsat = true
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagateAll() != nil {
+		s.uncheckedEnqueue(out[0], refUndef)
+		if s.propagateAll() != refUndef {
 			s.unsat = true
 			return false
 		}
 		return true
 	}
-	cl := &clause{lits: out}
-	s.clauses = append(s.clauses, cl)
-	s.attach(cl)
+	cr := s.ca.alloc(out, 0)
+	s.clauses = append(s.clauses, cr)
+	s.attach(cr)
 	return true
 }
 
@@ -407,28 +445,65 @@ func sortLitsByWeightDesc(lits []lit, weight []int64) {
 	}
 }
 
-func (s *Solver) attach(cl *clause) {
-	s.watches[cl.lits[0].neg()] = append(s.watches[cl.lits[0].neg()], watcher{cl: cl, blocker: cl.lits[1]})
-	s.watches[cl.lits[1].neg()] = append(s.watches[cl.lits[1].neg()], watcher{cl: cl, blocker: cl.lits[0]})
+func (s *Solver) attach(cr clauseRef) {
+	cl := s.ca.lits(cr)
+	s.watches[cl[0].neg()] = append(s.watches[cl[0].neg()], watcher{ref: cr, blocker: cl[1]})
+	s.watches[cl[1].neg()] = append(s.watches[cl[1].neg()], watcher{ref: cr, blocker: cl[0]})
 }
 
-func (s *Solver) detach(cl *clause) {
-	s.removeWatcher(cl.lits[0].neg(), cl)
-	s.removeWatcher(cl.lits[1].neg(), cl)
-}
-
-func (s *Solver) removeWatcher(l lit, cl *clause) {
-	ws := s.watches[l]
-	for i := range ws {
-		if ws[i].cl == cl {
-			ws[i] = ws[len(ws)-1]
-			s.watches[l] = ws[:len(ws)-1]
-			return
+// sweepWatches removes every watcher whose clause has been marked
+// deleted: one pass over all watch lists per reduceDB instead of an
+// O(list) scan per detached clause.
+func (s *Solver) sweepWatches() {
+	for l := range s.watches {
+		ws := s.watches[l]
+		j := 0
+		for _, w := range ws {
+			if !s.ca.deleted(w.ref) {
+				ws[j] = w
+				j++
+			}
 		}
+		s.watches[l] = ws[:j]
 	}
 }
 
-func (s *Solver) uncheckedEnqueue(l lit, from *clause) {
+// garbageCollect compacts the clause arena: live clauses are copied to
+// a fresh arena and every ref (watch lists, reasons, clause DBs) is
+// remapped through forwarding pointers left in the old storage. Deleted
+// clauses and stale budget reasons are reclaimed wholesale.
+func (s *Solver) garbageCollect() {
+	to := clauseArena{data: make([]lit, 0, s.ca.words()-s.ca.wasted)}
+	for l := range s.watches {
+		ws := s.watches[l]
+		for i := range ws {
+			s.ca.reloc(&ws[i].ref, &to)
+		}
+	}
+	for v := 0; v < s.numVars; v++ {
+		if s.reason[v] != refUndef {
+			s.ca.reloc(&s.reason[v], &to)
+		}
+	}
+	for i := range s.clauses {
+		s.ca.reloc(&s.clauses[i], &to)
+	}
+	for i := range s.learnts {
+		s.ca.reloc(&s.learnts[i], &to)
+	}
+	s.ca = to
+	s.stats.ClauseGCs++
+}
+
+// releaseTemp marks a transient budget-propagator clause deleted so the
+// next GC reclaims it. No-op for ordinary clauses.
+func (s *Solver) releaseTemp(cr clauseRef) {
+	if cr != refUndef && s.ca.temp(cr) && !s.ca.deleted(cr) {
+		s.ca.markDeleted(cr)
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l lit, from clauseRef) {
 	v := l.variable()
 	if l.sign() {
 		s.assigns[v] = lFalse
@@ -445,8 +520,11 @@ func (s *Solver) uncheckedEnqueue(l lit, from *clause) {
 	}
 }
 
-// propagate performs clause propagation until fixpoint or conflict.
-func (s *Solver) propagate() *clause {
+// propagate performs clause propagation until fixpoint or conflict
+// (refUndef = no conflict). The loop works directly on arena words:
+// clause headers and literals are adjacent, so the common cases (blocker
+// true, first literal true, early new watch) touch one cache line.
+func (s *Solver) propagate() clauseRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -461,22 +539,25 @@ func (s *Solver) propagate() *clause {
 				j++
 				continue
 			}
-			cl := w.cl
+			cr := w.ref
+			base := int(cr) + hdrWords
 			falseLit := p.neg()
-			if cl.lits[0] == falseLit {
-				cl.lits[0], cl.lits[1] = cl.lits[1], cl.lits[0]
+			if s.ca.data[base] == falseLit {
+				s.ca.data[base], s.ca.data[base+1] = s.ca.data[base+1], falseLit
 			}
-			first := cl.lits[0]
+			first := s.ca.data[base]
 			if first != w.blocker && s.value(first) == lTrue {
-				ws[j] = watcher{cl: cl, blocker: first}
+				ws[j] = watcher{ref: cr, blocker: first}
 				j++
 				continue
 			}
+			size := s.ca.size(cr)
 			found := false
-			for k := 2; k < len(cl.lits); k++ {
-				if s.value(cl.lits[k]) != lFalse {
-					cl.lits[1], cl.lits[k] = cl.lits[k], cl.lits[1]
-					s.watches[cl.lits[1].neg()] = append(s.watches[cl.lits[1].neg()], watcher{cl: cl, blocker: first})
+			for k := 2; k < size; k++ {
+				if s.value(s.ca.data[base+k]) != lFalse {
+					s.ca.data[base+1], s.ca.data[base+k] = s.ca.data[base+k], s.ca.data[base+1]
+					nw := s.ca.data[base+1].neg()
+					s.watches[nw] = append(s.watches[nw], watcher{ref: cr, blocker: first})
 					found = true
 					break
 				}
@@ -485,7 +566,7 @@ func (s *Solver) propagate() *clause {
 				continue // clause moved to another watch list
 			}
 			// Unit or conflicting.
-			ws[j] = watcher{cl: cl, blocker: first}
+			ws[j] = watcher{ref: cr, blocker: first}
 			j++
 			if s.value(first) == lFalse {
 				// Conflict: keep remaining watchers, stop.
@@ -495,32 +576,32 @@ func (s *Solver) propagate() *clause {
 				}
 				s.watches[p] = ws[:j]
 				s.qhead = len(s.trail)
-				return cl
+				return cr
 			}
-			s.uncheckedEnqueue(first, cl)
+			s.uncheckedEnqueue(first, cr)
 		}
 		s.watches[p] = ws[:j]
 	}
-	return nil
+	return refUndef
 }
 
 // propagateAll interleaves clause propagation with the budget
 // propagator until global fixpoint or conflict.
-func (s *Solver) propagateAll() *clause {
+func (s *Solver) propagateAll() clauseRef {
 	//lint:ignore ctxpoll the propagation fixpoint assigns literals monotonically, so iterations are bounded by the variable count; ctx is polled per conflict in search()
 	for {
-		if confl := s.propagate(); confl != nil {
+		if confl := s.propagate(); confl != refUndef {
 			return confl
 		}
 		if !s.hasBudget {
-			return nil
+			return refUndef
 		}
 		confl, propagated := s.propagateBudget()
-		if confl != nil {
+		if confl != refUndef {
 			return confl
 		}
 		if !propagated {
-			return nil
+			return refUndef
 		}
 	}
 }
@@ -529,8 +610,9 @@ func (s *Solver) propagateAll() *clause {
 // conflict clause when the currently-true budget literals already exceed
 // the bound, and otherwise implies the negation of any unassigned
 // literal that no longer fits. Reason/conflict clauses are materialised
-// eagerly; they are logically implied by the constraint, so reusing
-// them in conflict analysis is sound.
+// eagerly into the arena (tagged temp, reclaimed by the clause GC once
+// backtracked past); they are logically implied by the constraint, so
+// reusing them in conflict analysis is sound.
 //
 // All implications of one round share the same set of true budget
 // literals (the enqueues assign literals false, never true), so that
@@ -538,7 +620,7 @@ func (s *Solver) propagateAll() *clause {
 // each reason is a prefix of it: without this, a zero-slack round
 // costs O(n) full scans per implied literal, quadratic overall, which
 // dominated whole solves on large equal-weight instances.
-func (s *Solver) propagateBudget() (*clause, bool) {
+func (s *Solver) propagateBudget() (clauseRef, bool) {
 	if s.budgetSum > s.budgetBound {
 		return s.budgetConflict(), false
 	}
@@ -581,25 +663,25 @@ func (s *Solver) propagateBudget() (*clause, bool) {
 			// budget alone forbids ℓ, a unit reason.
 			m = 0
 		}
-		lits := make([]lit, m+1)
-		lits[0] = l.neg()
-		copy(lits[1:], trueNegs[:m])
-		s.uncheckedEnqueue(l.neg(), &clause{lits: lits})
+		s.budgetScratch = append(s.budgetScratch[:0], l.neg())
+		s.budgetScratch = append(s.budgetScratch, trueNegs[:m]...)
+		cr := s.ca.alloc(s.budgetScratch, flagTemp)
+		s.uncheckedEnqueue(l.neg(), cr)
 		propagated = true
 	}
-	return nil, propagated
+	return refUndef, propagated
 }
 
 // budgetConflict builds a clause ¬t₁ ∨ … ∨ ¬tₖ from a (greedy, heavy
 // first) subset of true budget literals whose weights already exceed the
 // bound. Every literal in it is currently false, as conflict analysis
 // expects.
-func (s *Solver) budgetConflict() *clause {
-	lits := make([]lit, 0, 8)
+func (s *Solver) budgetConflict() clauseRef {
+	s.budgetScratch = s.budgetScratch[:0]
 	var sum int64
 	for _, l := range s.budgetLits {
 		if s.value(l) == lTrue {
-			lits = append(lits, l.neg())
+			s.budgetScratch = append(s.budgetScratch, l.neg())
 			//lint:ignore weightsafe sums a subset of the SetBudget-validated total, which fits int64
 			sum += s.budgetWeight[l]
 			if sum > s.budgetBound {
@@ -607,7 +689,7 @@ func (s *Solver) budgetConflict() *clause {
 			}
 		}
 	}
-	return &clause{lits: lits}
+	return s.ca.alloc(s.budgetScratch, flagTemp)
 }
 
 func (s *Solver) newDecisionLevel() {
@@ -629,7 +711,8 @@ func (s *Solver) cancelUntil(level int) {
 		}
 		s.polarity[v] = s.assigns[v] == lTrue
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.releaseTemp(s.reason[v]) // budget reasons die with their assignment
+		s.reason[v] = refUndef
 		s.order.insert(v)
 	}
 	s.trail = s.trail[:bound]
@@ -649,11 +732,12 @@ func (s *Solver) bumpVar(v int) {
 	s.order.update(v)
 }
 
-func (s *Solver) bumpClause(cl *clause) {
-	cl.act += s.clauseInc
-	if cl.act > 1e20 {
+func (s *Solver) bumpClause(cr clauseRef) {
+	act := s.ca.act(cr) + float32(s.clauseInc)
+	s.ca.setAct(cr, act)
+	if act > 1e20 {
 		for _, c := range s.learnts {
-			c.act *= 1e-20
+			s.ca.setAct(c, s.ca.act(c)*1e-20)
 		}
 		s.clauseInc *= 1e-20
 	}
@@ -665,28 +749,33 @@ func (s *Solver) decayActivities() {
 }
 
 // analyze performs first-UIP conflict analysis and returns the learnt
-// clause (asserting literal first) and the backjump level.
-func (s *Solver) analyze(confl *clause) ([]lit, int) {
-	learnt := make([]lit, 1, 8)
+// clause (asserting literal first) and the backjump level. The clause
+// is minimised twice: recursively against the implication graph
+// (litRedundant) and by self-subsuming resolution with binary clauses
+// containing the asserting literal. The returned slice aliases an
+// internal buffer valid until the next analyze call.
+func (s *Solver) analyze(confl clauseRef) ([]lit, int) {
+	learnt := append(s.learntBuf[:0], litUndef)
 	pathC := 0
 	p := litUndef
 	idx := len(s.trail) - 1
-	toClear := make([]int, 0, 16)
+	s.toClear = s.toClear[:0]
 
 	//lint:ignore ctxpoll first-UIP resolution walks the trail backwards, so iterations are bounded by the trail length
 	for {
-		if confl.learnt {
+		if s.ca.learnt(confl) {
 			s.bumpClause(confl)
 		}
+		cl := s.ca.lits(confl)
 		start := 0
 		if p != litUndef {
 			start = 1
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range cl[start:] {
 			v := q.variable()
-			if !s.seen[v] && s.level[v] > 0 {
-				s.seen[v] = true
-				toClear = append(toClear, v)
+			if s.seen[v] == seenNone && s.level[v] > 0 {
+				s.seen[v] = seenSource
+				s.toClear = append(s.toClear, v)
 				s.bumpVar(v)
 				if s.level[v] >= s.decisionLevel() {
 					pathC++
@@ -695,13 +784,13 @@ func (s *Solver) analyze(confl *clause) ([]lit, int) {
 				}
 			}
 		}
-		for !s.seen[s.trail[idx].variable()] {
+		for s.seen[s.trail[idx].variable()] == seenNone {
 			idx--
 		}
 		p = s.trail[idx]
 		idx--
 		confl = s.reason[p.variable()]
-		s.seen[p.variable()] = false
+		s.seen[p.variable()] = seenNone
 		pathC--
 		if pathC <= 0 {
 			break
@@ -709,21 +798,24 @@ func (s *Solver) analyze(confl *clause) ([]lit, int) {
 	}
 	learnt[0] = p.neg()
 
-	// Shallow clause minimisation: drop literals whose reason is fully
-	// covered by the remaining learnt literals.
+	// Recursive minimisation: drop any literal whose falsification is
+	// implied by the rest of the clause, following reason chains all the
+	// way down (MiniSat 1.14 lineage, with removable/failed caching).
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		v := learnt[i].variable()
-		r := s.reason[v]
-		if r == nil || !s.litRedundant(r) {
+		if s.reason[v] == refUndef || !s.litRedundant(learnt[i]) {
 			learnt[j] = learnt[i]
 			j++
 		}
 	}
+	s.stats.Minimized += int64(len(learnt) - j)
 	learnt = learnt[:j]
 
-	for _, v := range toClear {
-		s.seen[v] = false
+	learnt = s.binSelfSubsume(learnt)
+
+	for _, v := range s.toClear {
+		s.seen[v] = seenNone
 	}
 
 	// Find the backjump level: highest level among learnt[1:].
@@ -738,27 +830,126 @@ func (s *Solver) analyze(confl *clause) ([]lit, int) {
 		learnt[1], learnt[maxIdx] = learnt[maxIdx], learnt[1]
 		btLevel = s.level[learnt[1].variable()]
 	}
+	s.learntBuf = learnt
 	return learnt, btLevel
 }
 
-// litRedundant reports whether every antecedent literal of the reason
-// clause is already marked seen (shallow minimisation test).
-func (s *Solver) litRedundant(r *clause) bool {
-	for _, q := range r.lits[1:] {
-		v := q.variable()
-		if !s.seen[v] && s.level[v] > 0 {
-			return false
+// litRedundant reports whether learnt literal p is redundant: every
+// path from p's reason back to the conflict eventually reaches literals
+// already in the learnt clause (seenSource) or level 0. It runs a
+// depth-first search over reason clauses with an explicit stack, caching
+// verdicts in the seen marks — seenRemovable for proven-redundant
+// literals, seenFailed (poison) for literals with a decision among
+// their ancestors — so repeated queries within one analyze call stay
+// linear in the implication graph.
+func (s *Solver) litRedundant(p lit) bool {
+	s.shrinkStack = s.shrinkStack[:0]
+	cl := s.ca.lits(s.reason[p.variable()])
+	//lint:ignore ctxpoll the DFS visits each implication-graph node at most once (seen-mark cache), so iterations are bounded by the trail length
+	for i := 1; ; i++ {
+		if i < len(cl) {
+			q := cl[i]
+			v := q.variable()
+			// Level-0 and cached-removable antecedents cannot block
+			// redundancy; literals already in the learnt clause are
+			// exactly the targets the search may stop at.
+			if s.level[v] == 0 || s.seen[v] == seenSource || s.seen[v] == seenRemovable {
+				continue
+			}
+			// A decision, or a literal already proven non-redundant:
+			// poison the whole DFS path and fail.
+			if s.reason[v] == refUndef || s.seen[v] == seenFailed {
+				s.shrinkStack = append(s.shrinkStack, shrinkElem{0, p})
+				for _, e := range s.shrinkStack {
+					ev := e.l.variable()
+					if s.seen[ev] == seenNone {
+						s.seen[ev] = seenFailed
+						s.toClear = append(s.toClear, ev)
+					}
+				}
+				return false
+			}
+			// Recurse into q's reason, remembering where to resume.
+			s.shrinkStack = append(s.shrinkStack, shrinkElem{i, p})
+			i = 0
+			p = q
+			cl = s.ca.lits(s.reason[p.variable()])
+		} else {
+			// p's entire reason checked out: cache and pop.
+			if pv := p.variable(); s.seen[pv] == seenNone {
+				s.seen[pv] = seenRemovable
+				s.toClear = append(s.toClear, pv)
+			}
+			if len(s.shrinkStack) == 0 {
+				return true
+			}
+			top := s.shrinkStack[len(s.shrinkStack)-1]
+			s.shrinkStack = s.shrinkStack[:len(s.shrinkStack)-1]
+			i, p = top.i, top.l
+			cl = s.ca.lits(s.reason[p.variable()])
 		}
 	}
-	return true
 }
 
-func (s *Solver) computeLBD(lits []lit) int {
-	levels := make(map[int]struct{}, len(lits))
-	for _, l := range lits {
-		levels[s.level[l.variable()]] = struct{}{}
+// binSelfSubsume strengthens the learnt clause by on-the-fly
+// self-subsuming resolution with binary clauses: for the asserting
+// literal p = learnt[0], any binary clause (p ∨ q) with q currently true
+// and ¬q in the learnt clause resolves to a clause that subsumes the
+// learnt one, so ¬q is dropped. Binary clauses containing p all live in
+// watches[¬p] (binary watchers never migrate), so one scan of that list
+// finds every candidate.
+func (s *Solver) binSelfSubsume(learnt []lit) []lit {
+	if len(learnt) < 2 {
+		return learnt
 	}
-	return len(levels)
+	s.stamp++
+	for _, l := range learnt[1:] {
+		s.seen2[l.variable()] = s.stamp
+	}
+	removed := 0
+	for _, w := range s.watches[learnt[0].neg()] {
+		if s.ca.size(w.ref) != 2 {
+			continue
+		}
+		bin := s.ca.lits(w.ref)
+		other := bin[0]
+		if other == learnt[0] {
+			other = bin[1]
+		}
+		// learnt[1:] literals are all false; if other is true and its
+		// variable is marked, the learnt clause contains exactly ¬other.
+		if s.seen2[other.variable()] == s.stamp && s.value(other) == lTrue {
+			s.seen2[other.variable()] = 0
+			removed++
+		}
+	}
+	if removed == 0 {
+		return learnt
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		if s.seen2[learnt[i].variable()] == s.stamp {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	s.stats.Minimized += int64(removed)
+	return learnt[:j]
+}
+
+// computeLBD counts distinct decision levels among lits using a stamped
+// per-level scratch array (no per-call allocation).
+func (s *Solver) computeLBD(lits []lit) int {
+	s.stamp++
+	n := 0
+	for _, l := range lits {
+		lv := s.level[l.variable()]
+		if s.levelStamp[lv] != s.stamp {
+			s.levelStamp[lv] = s.stamp
+			n++
+		}
+	}
+	return n
 }
 
 // analyzeFinal computes the subset of assumptions responsible for
@@ -769,16 +960,16 @@ func (s *Solver) analyzeFinal(a lit) []cnf.Lit {
 		return out
 	}
 	v := a.variable()
-	s.seen[v] = true
+	s.seen[v] = seenSource
 	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
 		tv := s.trail[i].variable()
-		if !s.seen[tv] {
+		if s.seen[tv] == seenNone {
 			continue
 		}
-		if r := s.reason[tv]; r != nil {
-			for _, q := range r.lits[1:] {
+		if r := s.reason[tv]; r != refUndef {
+			for _, q := range s.ca.lits(r)[1:] {
 				if s.level[q.variable()] > 0 {
-					s.seen[q.variable()] = true
+					s.seen[q.variable()] = seenSource
 				}
 			}
 		} else {
@@ -786,44 +977,60 @@ func (s *Solver) analyzeFinal(a lit) []cnf.Lit {
 			// literal (true on trail, so the assumption is trail[i]).
 			out = append(out, toDimacs(s.trail[i]))
 		}
-		s.seen[tv] = false
+		s.seen[tv] = seenNone
 	}
-	s.seen[v] = false
+	s.seen[v] = seenNone
 	return out
 }
 
+// reduceDB deletes the less valuable half of the learnt clauses. Doomed
+// clauses are only flagged; a single sweep over the watch lists then
+// drops their watchers (instead of two O(list) detach scans per clause),
+// and the arena is compacted once enough storage is dead.
 func (s *Solver) reduceDB() {
 	// Sort learnts: glue clauses (lbd<=2) and high-activity clauses are
 	// valuable; delete the worse half of the rest.
-	sortable := make([]*clause, 0, len(s.learnts))
-	kept := make([]*clause, 0, len(s.learnts))
-	for _, cl := range s.learnts {
-		if cl.lbd <= 2 || len(cl.lits) == 2 || s.locked(cl) {
-			kept = append(kept, cl)
+	sortable := make([]clauseRef, 0, len(s.learnts))
+	kept := make([]clauseRef, 0, len(s.learnts))
+	for _, cr := range s.learnts {
+		if s.ca.lbd(cr) <= 2 || s.ca.size(cr) == 2 || s.locked(cr) {
+			kept = append(kept, cr)
 		} else {
-			sortable = append(sortable, cl)
+			sortable = append(sortable, cr)
 		}
 	}
-	sortClausesWorstFirst(sortable)
+	s.sortClausesWorstFirst(sortable)
 	drop := len(sortable) / 2
-	for i, cl := range sortable {
+	for i, cr := range sortable {
 		if i < drop {
-			s.detach(cl)
+			s.ca.markDeleted(cr)
 			s.stats.Deleted++
 		} else {
-			kept = append(kept, cl)
+			kept = append(kept, cr)
 		}
 	}
 	s.learnts = kept
+	if drop > 0 {
+		s.sweepWatches()
+	}
+	s.maybeGC()
 }
 
-func sortClausesWorstFirst(cls []*clause) {
+// maybeGC compacts the arena when at least 20% of it is dead storage
+// (deleted learnt clauses and retired budget reasons).
+func (s *Solver) maybeGC() {
+	if s.ca.wasted*5 > s.ca.words() {
+		s.garbageCollect()
+	}
+}
+
+func (s *Solver) sortClausesWorstFirst(cls []clauseRef) {
 	// Worst = high LBD, then low activity.
-	lessWorse := func(a, b *clause) bool {
-		if a.lbd != b.lbd {
-			return a.lbd > b.lbd
+	lessWorse := func(a, b clauseRef) bool {
+		if la, lb := s.ca.lbd(a), s.ca.lbd(b); la != lb {
+			return la > lb
 		}
-		return a.act < b.act
+		return s.ca.act(a) < s.ca.act(b)
 	}
 	// Simple heapless sort; clause counts here are moderate.
 	for i := 1; i < len(cls); i++ {
@@ -837,9 +1044,9 @@ func sortClausesWorstFirst(cls []*clause) {
 	}
 }
 
-func (s *Solver) locked(cl *clause) bool {
-	v := cl.lits[0].variable()
-	return s.reason[v] == cl && s.value(cl.lits[0]) == lTrue
+func (s *Solver) locked(cr clauseRef) bool {
+	first := s.ca.lits(cr)[0]
+	return s.reason[first.variable()] == cr && s.value(first) == lTrue
 }
 
 func (s *Solver) pickBranchLit() lit {
@@ -905,6 +1112,10 @@ func (s *Solver) Solve(ctx context.Context, assumptions ...cnf.Lit) (Status, err
 
 	var restarts int64
 	for {
+		// Restart boundaries double as GC points: retired budget-reason
+		// clauses (temp allocations) would otherwise only be reclaimed
+		// at reduceDB, which easy incremental workloads never reach.
+		s.maybeGC()
 		s.applyBudgetRefresh()
 		limit := luby(restarts+1) * int64(s.opts.RestartBase)
 		status, err := s.search(ctx, limit)
@@ -932,27 +1143,33 @@ func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error
 	var conflicts int64
 	for {
 		confl := s.propagateAll()
-		if confl != nil {
+		if confl != refUndef {
 			s.stats.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
+				s.releaseTemp(confl)
 				s.unsat = true
 				s.core = nil
 				return Unsat, nil
 			}
 			learnt, btLevel := s.analyze(confl)
+			s.releaseTemp(confl)
+			if s.testOnLearnt != nil {
+				s.testOnLearnt(learnt, btLevel)
+			}
 			if s.tel != nil {
 				s.tel.LearntLen.Observe(float64(len(learnt)))
 			}
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], refUndef)
 			} else {
-				cl := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
-				s.learnts = append(s.learnts, cl)
-				s.attach(cl)
-				s.bumpClause(cl)
-				s.uncheckedEnqueue(learnt[0], cl)
+				cr := s.ca.alloc(learnt, flagLearnt)
+				s.ca.setLBD(cr, s.computeLBD(learnt))
+				s.learnts = append(s.learnts, cr)
+				s.attach(cr)
+				s.bumpClause(cr)
+				s.uncheckedEnqueue(learnt[0], cr)
 				s.stats.Learnt++
 			}
 			s.decayActivities()
@@ -1009,7 +1226,7 @@ func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error
 			}
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, refUndef)
 	}
 }
 

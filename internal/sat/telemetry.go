@@ -69,5 +69,8 @@ func (s *Solver) maybeHeartbeat() {
 		Restarts:     s.stats.Restarts,
 		Learnt:       s.stats.Learnt,
 		TrailDepth:   len(s.trail),
+		LearntDB:     len(s.learnts),
+		ArenaWords:   s.ca.words(),
+		ClauseGCs:    s.stats.ClauseGCs,
 	})
 }

@@ -90,13 +90,14 @@ func run(args []string, stdout io.Writer) (err error) {
 		benchOut  = fs.String("bench", "", "run the nightly benchmark suite and write BENCH JSON to this file")
 		baseline  = fs.String("compare", "", "compare the benchmark run against this baseline BENCH JSON, failing on regression")
 		benchTime = fs.Duration("benchtime", time.Second, "minimum measuring time per benchmark scenario")
+		benchReps = fs.Int("bench-reps", 1, "suite repetitions; the best (lowest) score per scenario is kept, damping shared-runner noise")
 		benchTol  = fs.Float64("bench-tolerance", 0.10, "allowed relative score regression before -compare fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchOut != "" || *baseline != "" {
-		return runBenchMode(*benchOut, *baseline, *benchTime, *benchTol, stdout)
+		return runBenchMode(*benchOut, *baseline, *benchTime, *benchReps, *benchTol, stdout)
 	}
 	if *listFlag {
 		for _, e := range experiments() {

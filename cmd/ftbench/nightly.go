@@ -165,6 +165,50 @@ func runBenchSuite(benchtime time.Duration, progress io.Writer) (*benchDoc, erro
 	return doc, nil
 }
 
+// bestOfSuites runs the suite reps times and keeps, per scenario, the
+// result with the lowest normalized score. On shared CI runners a
+// single short measuring window is vulnerable to frequency scaling and
+// co-tenant noise; noise only ever inflates a score, so the minimum
+// across repetitions is the most faithful estimate of the code's cost.
+func bestOfSuites(benchtime time.Duration, reps int, progress io.Writer) (*benchDoc, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var best *benchDoc
+	for rep := 0; rep < reps; rep++ {
+		if reps > 1 {
+			fmt.Fprintf(progress, "bench repetition %d/%d\n", rep+1, reps)
+		}
+		doc, err := runBenchSuite(benchtime, progress)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil {
+			best = doc
+			continue
+		}
+		mergeBest(best, doc)
+	}
+	return best, nil
+}
+
+// mergeBest folds a repetition into the running best, per scenario.
+// Both documents come from runBenchSuite, so scenario order matches.
+func mergeBest(best, doc *benchDoc) {
+	for i := range best.Results {
+		cur := doc.Results[i]
+		better := cur.Score < best.Results[i].Score
+		if cur.Name == calibrateName {
+			// The calibration loop's score is 1 by construction;
+			// compare its raw time instead.
+			better = cur.NsPerOp < best.Results[i].NsPerOp
+		}
+		if better {
+			best.Results[i] = cur
+		}
+	}
+}
+
 // compareBench returns one message per regression: a scenario whose
 // normalized score exceeds the baseline's by more than tolerance
 // (e.g. 0.10 = 10%), or a baseline scenario that vanished.
@@ -193,8 +237,8 @@ func compareBench(current, baseline *benchDoc, tolerance float64) []string {
 
 // runBenchMode executes -bench/-compare: run the suite, write the JSON
 // document, and fail on regression against the baseline if given.
-func runBenchMode(outPath, baselinePath string, benchtime time.Duration, tolerance float64, stdout io.Writer) error {
-	doc, err := runBenchSuite(benchtime, stdout)
+func runBenchMode(outPath, baselinePath string, benchtime time.Duration, reps int, tolerance float64, stdout io.Writer) error {
+	doc, err := bestOfSuites(benchtime, reps, stdout)
 	if err != nil {
 		return err
 	}

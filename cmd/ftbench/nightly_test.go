@@ -75,6 +75,29 @@ func TestCompareBench(t *testing.T) {
 	}
 }
 
+// TestMergeBest: per-scenario minimum score wins across repetitions,
+// except the calibration loop which is picked by raw time.
+func TestMergeBest(t *testing.T) {
+	best := &benchDoc{Schema: benchSchema, Results: []benchResult{
+		{Name: calibrateName, NsPerOp: 100, Score: 1},
+		{Name: "a", NsPerOp: 900, Score: 9},
+		{Name: "b", NsPerOp: 400, Score: 4},
+	}}
+	rep := &benchDoc{Schema: benchSchema, Results: []benchResult{
+		{Name: calibrateName, NsPerOp: 80, Score: 1}, // faster calibration
+		{Name: "a", NsPerOp: 960, Score: 12},         // noisier: kept out
+		{Name: "b", NsPerOp: 240, Score: 3},          // quieter: replaces
+	}}
+	mergeBest(best, rep)
+	want := []float64{1, 9, 3}
+	wantNs := []float64{80, 900, 240}
+	for i, r := range best.Results {
+		if r.Score != want[i] || r.NsPerOp != wantNs[i] {
+			t.Errorf("result %d = %+v, want score %v ns %v", i, r, want[i], wantNs[i])
+		}
+	}
+}
+
 // TestCheckedInBaselineIsReadable: the baseline the nightly workflow
 // gates against must parse and cover the current scenario list.
 func TestCheckedInBaselineIsReadable(t *testing.T) {

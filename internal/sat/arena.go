@@ -50,7 +50,7 @@ type clauseArena struct {
 // alloc appends a clause and returns its ref. The literals are copied;
 // the caller's slice may be reused.
 func (a *clauseArena) alloc(lits []lit, flags lit) clauseRef {
-	if len(lits) > maxClauseSize || len(a.data) > math.MaxUint32-hdrWords-len(lits) {
+	if len(lits) > maxClauseSize || uint64(len(a.data))+hdrWords+uint64(len(lits)) > math.MaxUint32 {
 		panic("sat: clause arena exceeds 2^32 words")
 	}
 	r := clauseRef(len(a.data))

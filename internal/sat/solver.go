@@ -694,6 +694,12 @@ func (s *Solver) budgetConflict() clauseRef {
 
 func (s *Solver) newDecisionLevel() {
 	s.trailLim = append(s.trailLim, len(s.trail))
+	// Decision levels can exceed numVars: each already-satisfied
+	// assumption burns a dummy level, so levelStamp must cover the
+	// actual level range, not just 0..numVars.
+	for len(s.levelStamp) <= len(s.trailLim) {
+		s.levelStamp = append(s.levelStamp, 0)
+	}
 }
 
 func (s *Solver) cancelUntil(level int) {

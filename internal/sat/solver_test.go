@@ -33,6 +33,25 @@ func TestLitConversion(t *testing.T) {
 	}
 }
 
+// TestDuplicateAssumptionsExceedNumVars: every already-satisfied
+// assumption burns a dummy decision level, so the decision level can
+// exceed numVars. computeLBD's levelStamp scratch array must cover
+// those levels — this repro used to panic with an index out of range
+// when the learnt clause contained a literal from such a level.
+func TestDuplicateAssumptionsExceedNumVars(t *testing.T) {
+	ctx := context.Background()
+	s := New(5, Options{})
+	s.AddClause(-1, -2, 3)
+	s.AddClause(-1, -2, -3)
+	status, err := s.Solve(ctx, 1, 1, 1, 1, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Unsat {
+		t.Errorf("got %v, want Unsat (assumptions force the conflict)", status)
+	}
+}
+
 func TestLuby(t *testing.T) {
 	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
 	for i, w := range want {

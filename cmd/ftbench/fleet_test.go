@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpmcs4fta/internal/gen"
+)
+
+// fleetDir writes a small mixed corpus (two JSON trees, one text tree)
+// into a temp directory.
+func fleetDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		tree, err := gen.Modular(gen.ModularConfig{Modules: 2, EventsPerModule: 6, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tree.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Join(dir, tree.Name()+".json")
+		if err := os.WriteFile(name, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gen.FPS().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fps.txt"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestFleetModeDirectory: -fleet over a directory solves every
+// instance, reports throughput and writes a valid report document.
+func TestFleetModeDirectory(t *testing.T) {
+	dir := fleetDir(t)
+	out := filepath.Join(t.TempDir(), "fleet.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-fleet", dir, "-fleet-workers", "2", "-fleet-out", out}, &stdout); err != nil {
+		t.Fatalf("%v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "instances/sec") {
+		t.Fatalf("no throughput line:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc fleetDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != fleetSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, fleetSchema)
+	}
+	if doc.Instances != 3 || doc.Solved != 3 || doc.Failed != 0 {
+		t.Fatalf("counts: %+v", doc)
+	}
+	if doc.Workers != 2 || doc.InstancesPerSec <= 0 {
+		t.Fatalf("throughput fields: %+v", doc)
+	}
+	for _, r := range doc.Results {
+		if r.Status != "OPTIMAL" || r.Probability <= 0 || len(r.CutSet) == 0 {
+			t.Fatalf("instance %s not solved: %+v", r.Name, r)
+		}
+	}
+}
+
+// TestFleetModeStdinStream: "-" reads newline-separated instance paths.
+func TestFleetModeStdinStream(t *testing.T) {
+	dir := fleetDir(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, e := range entries {
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	instances, err := collectFleet("-", strings.NewReader(strings.Join(paths, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != 3 {
+		t.Fatalf("collected %d instances, want 3", len(instances))
+	}
+	doc, err := solveFleet(context.Background(), instances, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Solved != 3 {
+		t.Fatalf("solved %d, want 3: %+v", doc.Solved, doc)
+	}
+}
+
+// TestFleetBadInstanceDoesNotSinkBatch: one unreadable tree is a
+// per-instance failure, not a batch abort.
+func TestFleetBadInstanceDoesNotSinkBatch(t *testing.T) {
+	dir := fleetDir(t)
+	// A tree whose top event cannot occur: Analyze returns ErrNoCutSet.
+	if err := os.WriteFile(filepath.Join(dir, "zzz-impossible.txt"), []byte(
+		"tree impossible\ntop g1\nevent e1 0\nevent e2 0.5\ngate g1 and e1 e2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	instances, err := collectFleet(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := solveFleet(context.Background(), instances, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Solved != 3 || doc.Failed != 1 {
+		t.Fatalf("solved=%d failed=%d, want 3/1", doc.Solved, doc.Failed)
+	}
+}
+
+// TestFleetEmpty: an empty directory is an error, not a vacuous
+// success.
+func TestFleetEmpty(t *testing.T) {
+	if _, err := collectFleet(t.TempDir(), nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}

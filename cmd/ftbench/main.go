@@ -8,6 +8,8 @@
 //	ftbench -exp all
 //	ftbench -exp e4 -sizes 50,100,500,1000 -timeout 60s
 //	ftbench -exp e4 -trace spans.json -metrics - -pprof localhost:6060
+//	ftbench -fleet testdata/ -fleet-workers 8 -fleet-out fleet.json
+//	ftbench -bench BENCH.json -compare testdata/bench/BENCH_baseline.json
 package main
 
 import (
@@ -92,12 +94,19 @@ func run(args []string, stdout io.Writer) (err error) {
 		benchTime = fs.Duration("benchtime", time.Second, "minimum measuring time per benchmark scenario")
 		benchReps = fs.Int("bench-reps", 1, "suite repetitions; the best (lowest) score per scenario is kept, damping shared-runner noise")
 		benchTol  = fs.Float64("bench-tolerance", 0.10, "allowed relative score regression before -compare fails")
+
+		fleet        = fs.String("fleet", "", "fleet mode: solve every .json/.txt tree in this directory (or file, or '-' for newline-separated paths on stdin) on one shared worker pool")
+		fleetWorkers = fs.Int("fleet-workers", 0, "fleet worker budget (0 = GOMAXPROCS)")
+		fleetOut     = fs.String("fleet-out", "", "write the fleet throughput report JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchOut != "" || *baseline != "" {
 		return runBenchMode(*benchOut, *baseline, *benchTime, *benchReps, *benchTol, stdout)
+	}
+	if *fleet != "" {
+		return runFleetMode(*fleet, *fleetWorkers, *fleetOut, *timeout, os.Stdin, stdout)
 	}
 	if *listFlag {
 		for _, e := range experiments() {

@@ -52,10 +52,14 @@ type benchScenario struct {
 	run  func() error
 }
 
-// benchScenarios is the nightly suite: one entry per hot path worth
-// gating (pipeline end-to-end, encoding, each oracle, ranked
-// enumeration). Workloads are seeded, so every run times identical
-// instances.
+// benchScenarios is the nightly suite and the ONLY place scenario
+// names are defined: the suite runner, the baseline coverage test and
+// the regression gate all derive from this one table (see
+// scenarioNames), so adding a scenario is a one-line change here plus
+// a baseline regeneration. One entry per hot path worth gating
+// (pipeline end-to-end, encoding, each oracle, ranked enumeration,
+// modular decomposition, fleet throughput). Workloads are seeded, so
+// every run times identical instances.
 func benchScenarios() []benchScenario {
 	ctx := context.Background()
 	seq := core.Options{Sequential: true}
@@ -69,6 +73,23 @@ func benchScenarios() []benchScenario {
 	}
 	tree200 := mk(200, 0)
 	tree500 := mk(500, 0.15)
+	// The decomposition workload: the same 8×40 voting-heavy modular
+	// tree the seed corpus instance testdata/modular8x40.json was
+	// generated from (ftgen -modular 8 -module-events 40 -voting 0.3
+	// -seed 7). Voting gates make the monolithic instance hard enough
+	// that solving the eight small module instances beats it.
+	mod8, err := gen.Modular(gen.ModularConfig{Modules: 8, EventsPerModule: 40, VotingFrac: 0.3, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fleetTrees := make([]fleetInstance, 8)
+	for i := range fleetTrees {
+		tree, err := gen.Modular(gen.ModularConfig{Modules: 4, EventsPerModule: 10, Seed: int64(100 + i)})
+		if err != nil {
+			panic(err)
+		}
+		fleetTrees[i] = fleetInstance{name: tree.Name(), tree: tree}
+	}
 	return []benchScenario{
 		{calibrateName, func() error {
 			// xorshift64: pure CPU, no allocation, fixed work.
@@ -107,7 +128,40 @@ func benchScenarios() []benchScenario {
 			_, err := core.AnalyzeTopK(ctx, gen.RedundantSCADA(), 8, seq)
 			return err
 		}},
+		{"modular8x40-analyze", func() error {
+			// The default path: planner + scheduled sub-solves.
+			_, err := core.Analyze(ctx, mod8, seq)
+			return err
+		}},
+		{"modular8x40-analyze-monolithic", func() error {
+			// The flag-off fallback, kept as the decomposition speedup's
+			// reference point.
+			_, err := core.Analyze(ctx, mod8, core.Options{Sequential: true, NoDecompose: true})
+			return err
+		}},
+		{"fleet8-batch", func() error {
+			doc, err := solveFleet(ctx, fleetTrees, 0, 0)
+			if err != nil {
+				return err
+			}
+			if doc.Failed > 0 {
+				return fmt.Errorf("fleet batch: %d instance(s) failed", doc.Failed)
+			}
+			return nil
+		}},
 	}
+}
+
+// scenarioNames derives the suite's scenario names from the one table
+// above — the single source of truth the checked-in baseline must
+// cover exactly.
+func scenarioNames() []string {
+	scenarios := benchScenarios()
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.name
+	}
+	return names
 }
 
 // measure times run until at least benchtime has elapsed, doubling the

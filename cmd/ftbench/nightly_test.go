@@ -99,19 +99,29 @@ func TestMergeBest(t *testing.T) {
 }
 
 // TestCheckedInBaselineIsReadable: the baseline the nightly workflow
-// gates against must parse and cover the current scenario list.
+// gates against must parse and match the scenario table exactly, in
+// both directions — benchScenarios() is the single source of truth,
+// and a stale baseline (missing or orphaned names) fails here rather
+// than silently ungating a scenario.
 func TestCheckedInBaselineIsReadable(t *testing.T) {
 	doc, err := readBenchDoc("../../testdata/bench/BENCH_baseline.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	names := make(map[string]bool, len(doc.Results))
+	inBaseline := make(map[string]bool, len(doc.Results))
 	for _, r := range doc.Results {
-		names[r.Name] = true
+		inBaseline[r.Name] = true
 	}
-	for _, s := range benchScenarios() {
-		if !names[s.name] {
-			t.Errorf("baseline missing scenario %q — regenerate with: go run ./cmd/ftbench -bench testdata/bench/BENCH_baseline.json", s.name)
+	inSuite := make(map[string]bool)
+	for _, name := range scenarioNames() {
+		inSuite[name] = true
+		if !inBaseline[name] {
+			t.Errorf("baseline missing scenario %q — regenerate with: go run ./cmd/ftbench -bench testdata/bench/BENCH_baseline.json", name)
+		}
+	}
+	for _, r := range doc.Results {
+		if !inSuite[r.Name] {
+			t.Errorf("baseline has orphaned scenario %q not in benchScenarios() — regenerate the baseline", r.Name)
 		}
 	}
 }

@@ -6,6 +6,12 @@
 //
 //	ftgen -events 1000 -seed 7 [-fanin 4] [-andbias 0.4] [-voting 0.1]
 //	      [-minprob 1e-4] [-maxprob 0.2] [-format json|text] [-output f]
+//
+// With -modular M the generator instead emits a tree of M independent
+// modules joined by one top gate (the ground-truth workload for the
+// decomposition planner), each with -module-events basic events:
+//
+//	ftgen -modular 6 -module-events 40 -seed 7 [-top-and] [...]
 package main
 
 import (
@@ -36,20 +42,39 @@ func run(args []string, stdout io.Writer) error {
 		maxProb = fs.Float64("maxprob", 0.2, "maximum event probability")
 		format  = fs.String("format", "json", "output format: json or text")
 		output  = fs.String("output", "", "output file (default: stdout)")
+		modular = fs.Int("modular", 0, "generate a tree of this many independent modules (0 = plain random tree)")
+		modEv   = fs.Int("module-events", 40, "with -modular: basic events per module")
+		topAnd  = fs.Bool("top-and", false, "with -modular: join modules with an AND top gate instead of OR")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	tree, err := mpmcs4fta.RandomTree(mpmcs4fta.RandomTreeConfig{
-		Events:     *events,
-		Seed:       *seed,
-		MaxFanIn:   *fanIn,
-		AndBias:    *andBias,
-		VotingFrac: *voting,
-		MinProb:    *minProb,
-		MaxProb:    *maxProb,
-	})
+	var tree *mpmcs4fta.Tree
+	var err error
+	if *modular > 0 {
+		tree, err = mpmcs4fta.ModularTree(mpmcs4fta.ModularTreeConfig{
+			Modules:         *modular,
+			EventsPerModule: *modEv,
+			TopAnd:          *topAnd,
+			Seed:            *seed,
+			MaxFanIn:        *fanIn,
+			AndBias:         *andBias,
+			VotingFrac:      *voting,
+			MinProb:         *minProb,
+			MaxProb:         *maxProb,
+		})
+	} else {
+		tree, err = mpmcs4fta.RandomTree(mpmcs4fta.RandomTreeConfig{
+			Events:     *events,
+			Seed:       *seed,
+			MaxFanIn:   *fanIn,
+			AndBias:    *andBias,
+			VotingFrac: *voting,
+			MinProb:    *minProb,
+			MaxProb:    *maxProb,
+		})
+	}
 	if err != nil {
 		return err
 	}

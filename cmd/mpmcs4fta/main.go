@@ -9,6 +9,7 @@
 //
 //	mpmcs4fta -input tree.json [-format json|text] [-topk N] [-disjoint]
 //	          [-engine portfolio|bdd] [-sequential] [-timeout 30s] [-pg]
+//	          [-no-decompose] [-decompose-workers N]
 //	          [-output out.json] [-dot out.dot] [-wcnf out.wcnf] [-report]
 //	          [-trace spans.json] [-metrics metrics.txt] [-pprof addr]
 //	          [-cpuprofile cpu.prof] [-obs-listen addr] [-obs-linger 30s]
@@ -47,6 +48,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		topK       = fs.Int("topk", 1, "number of ranked cut sets to compute")
 		engine     = fs.String("engine", "portfolio", "solving engine: portfolio or bdd")
 		sequential = fs.Bool("sequential", false, "run portfolio engines sequentially (deterministic)")
+		noDecomp   = fs.Bool("no-decompose", false, "disable modular decomposition: solve the tree as one monolithic MaxSAT instance")
+		decompWork = fs.Int("decompose-workers", 0, "worker budget for concurrent module sub-solves (0 = GOMAXPROCS)")
 		timeout    = fs.Duration("timeout", 0, "overall analysis timeout (0 = none)")
 		pg         = fs.Bool("pg", false, "use the Plaisted-Greenbaum CNF encoding")
 		wcnfFile   = fs.String("wcnf", "", "also export the Step-4 MaxSAT instance in DIMACS WCNF format")
@@ -82,6 +85,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		Sequential:        *sequential,
 		PlaistedGreenbaum: *pg,
 		Timeout:           *timeout,
+		NoDecompose:       *noDecomp,
+		DecomposeWorkers:  *decompWork,
 	}
 
 	var tracer *mpmcs4fta.JSONTracer

@@ -74,6 +74,16 @@ type Options struct {
 	// analysis runs (see obs.EventBus and obs.Server). Nil disables the
 	// event path at zero cost.
 	Bus *obs.EventBus
+	// NoDecompose disables modular decomposition of the solve path: the
+	// tree is solved as one monolithic WCNF instance even when it has
+	// independent modules (the --no-decompose CLI flag).
+	NoDecompose bool
+	// DecomposeWorkers sizes the shared scheduler pool for module
+	// sub-solves (≤0 selects GOMAXPROCS).
+	DecomposeWorkers int
+	// DecomposeMinEvents is the smallest module subtree worth its own
+	// sub-solve (≤0 selects decomp.DefaultMinEvents).
+	DecomposeMinEvents int
 }
 
 func (o Options) withDefaults() Options {
@@ -306,6 +316,15 @@ func Analyze(ctx context.Context, tree *ft.Tree, opts Options) (*Solution, error
 	defer root.End()
 	if root.Recording() {
 		root.SetString("tree", tree.Name())
+	}
+	if plan := decompositionPlan(tree, opts); plan != nil {
+		solution, err := analyzeDecomposed(ctx, tree, plan, opts, root)
+		if err != nil {
+			return nil, err
+		}
+		solution.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		recordDecomposedMetrics(opts.Metrics, solution, plan, time.Since(start))
+		return solution, nil
 	}
 	steps, err := buildSteps(tree, opts, root)
 	if err != nil {

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"mpmcs4fta/internal/decomp"
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/maxsat"
+	"mpmcs4fta/internal/obs"
+	"mpmcs4fta/internal/sched"
+)
+
+// decompositionPlan returns the non-trivial plan Analyze should route
+// through, or nil for the monolithic path. Planning failures fall back
+// silently: whatever made the tree unplannable (it is validated first,
+// so in practice nothing) will surface through the monolithic
+// pipeline's own validation.
+func decompositionPlan(tree *ft.Tree, opts Options) *decomp.Plan {
+	if opts.NoDecompose {
+		return nil
+	}
+	plan, err := decomp.BuildPlan(tree, decomp.Options{MinEvents: opts.DecomposeMinEvents})
+	if err != nil || plan.Trivial() {
+		return nil
+	}
+	return plan
+}
+
+// analyzeDecomposed is the modular counterpart of the monolithic
+// solve-then-decode path in Analyze: each plan node runs the full
+// Steps-1–6 pipeline over its quotient tree (its own portfolio race,
+// with the bus and metrics riding the context as usual), scheduled
+// bottom-up over a shared worker pool, and the module optima are
+// recombined into one Solution over the original tree.
+func analyzeDecomposed(ctx context.Context, tree *ft.Tree, plan *decomp.Plan, opts Options, parent obs.SpanStarter) (*Solution, error) {
+	pool := sched.New(opts.DecomposeWorkers)
+	defer pool.Close()
+
+	sp := parent.StartSpan("decompose")
+	defer sp.End()
+	if sp.Recording() {
+		sp.SetInt("modules", int64(len(plan.Nodes)))
+		sp.SetInt("workers", int64(pool.Workers()))
+	}
+
+	solveNode := func(nodeCtx context.Context, node *decomp.PlanNode) (decomp.ModuleSolution, error) {
+		msp := sp.StartSpan("module")
+		defer msp.End()
+		if msp.Recording() {
+			msp.SetString("module", node.ID)
+			msp.SetInt("events", int64(node.Events))
+		}
+		steps, err := buildSteps(node.Tree, opts, msp)
+		if err != nil {
+			return decomp.ModuleSolution{}, err
+		}
+		res, report, err := solveSpanned(nodeCtx, steps.Instance, opts, msp)
+		if err != nil {
+			return decomp.ModuleSolution{}, err
+		}
+		sol := decomp.ModuleSolution{
+			Winner:      report.Winner,
+			Vars:        steps.Instance.NumVars,
+			HardClauses: len(steps.Instance.Hard),
+			SoftClauses: len(steps.Instance.Soft),
+		}
+		if win := report.WinnerReport(); win != nil {
+			sol.Stats = win.Stats
+		}
+		switch res.Status {
+		case maxsat.Infeasible:
+			// This module's top can never occur: it re-enters the parent
+			// as a p=0 pseudo-event (which LogWeights turns into a hard
+			// "cannot fail" constraint).
+			sol.Impossible = true
+			return sol, nil
+		case maxsat.Optimal, maxsat.Feasible:
+		default:
+			return sol, fmt.Errorf("core: module %q returned no answer (status %v)", node.ID, res.Status)
+		}
+
+		failed := make(map[string]bool, len(steps.Weights))
+		for _, w := range steps.Weights {
+			y := steps.Encoding.VarOf[w.ID]
+			if y < len(res.Model) && !res.Model[y] {
+				failed[w.ID] = true
+			}
+		}
+		sol.CutSet = minimizeCutSet(node.Tree, failed)
+		sol.Probability = 1
+		for _, id := range sol.CutSet {
+			sol.Probability *= node.Tree.Event(id).Prob
+		}
+		sol.Optimal = res.Status == maxsat.Optimal
+		if res.Status == maxsat.Feasible {
+			if gap := res.Gap(); gap > 0 {
+				sol.GapLog = float64(gap) / opts.Scale
+			}
+		}
+		return sol, nil
+	}
+
+	outcome, err := decomp.Execute(ctx, plan, solveNode, decomp.ExecOptions{Pool: pool, Bus: opts.Bus})
+	if err != nil {
+		return nil, err
+	}
+	if outcome.Impossible {
+		return nil, ErrNoCutSet
+	}
+	return composeSolution(tree, plan, outcome, opts)
+}
+
+// composeSolution performs the decomposed Step 6: the expanded cut set
+// is re-weighted against the original tree's Table-I transform, module
+// instance sizes and solver counters are aggregated, and the composed
+// optimality verdict (all-modules-optimal, summed gap) is translated
+// to the same Status/gap fields the monolithic path reports.
+func composeSolution(tree *ft.Tree, plan *decomp.Plan, outcome *decomp.Outcome, opts Options) (*Solution, error) {
+	weights := LogWeights(tree.Events(), opts.Scale)
+	weightByID := make(map[string]EventWeight, len(weights))
+	for _, w := range weights {
+		weightByID[w.ID] = w
+	}
+
+	var (
+		logCost float64
+		events  []SolutionEvent
+	)
+	probability := 1.0
+	for _, id := range outcome.CutSet {
+		w, ok := weightByID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: decomposed cut set contains unknown event %q", id)
+		}
+		e := tree.Event(id)
+		events = append(events, SolutionEvent{
+			ID:          id,
+			Description: e.Description,
+			Prob:        w.Prob,
+			Weight:      w.Weight,
+		})
+		logCost += w.Weight
+		probability *= w.Prob
+	}
+	fromLog := math.Exp(-logCost)
+	if math.Abs(fromLog-probability) > 1e-9*math.Max(fromLog, probability) {
+		return nil, fmt.Errorf("core: reverse transform mismatch: exp(−Σw)=%v, ∏p=%v", fromLog, probability)
+	}
+
+	var agg SolutionStats
+	rootSol := outcome.Solutions[plan.Root]
+	for _, id := range plan.Order {
+		sol, ok := outcome.Solutions[id]
+		if !ok {
+			continue
+		}
+		agg.Vars += sol.Vars
+		agg.HardClauses += sol.HardClauses
+		agg.SoftClauses += sol.SoftClauses
+		agg.Solver.Add(sol.Stats)
+	}
+	stats := tree.Stats()
+	agg.Events = stats.Events
+	agg.Gates = stats.Gates
+
+	solution := &Solution{
+		Tree:        tree.Name(),
+		Method:      "Weighted Partial MaxSAT",
+		MPMCS:       events,
+		Probability: probability,
+		LogCost:     logCost,
+		Solver:      rootSol.Winner,
+		Status:      maxsat.Optimal.String(),
+		Stats:       agg,
+		Weights:     weights,
+	}
+	if !outcome.Optimal {
+		solution.Status = maxsat.Feasible.String()
+		solution.OptimalityGap = outcome.GapLog
+		// No cut set costs less than (achieved − composed gap), so none
+		// is more probable than exp(−(LogCost − gap)).
+		solution.ProbabilityUpperBound = math.Exp(-(logCost - outcome.GapLog))
+	}
+	return solution, nil
+}
+
+// recordDecomposedMetrics folds one modular analysis into the
+// process-level counters. Safe on a nil registry.
+func recordDecomposedMetrics(m *obs.Metrics, sol *Solution, plan *decomp.Plan, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Add("analyses", 1)
+	m.Add("modular_analyses", 1)
+	m.Add("modules_solved", int64(len(plan.Nodes)))
+	m.Add("solve_us_total", elapsed.Microseconds())
+	if sol.Status == maxsat.Feasible.String() {
+		m.Add("anytime_answers", 1)
+	}
+	s := sol.Stats.Solver
+	m.Add("sat_calls", s.SATCalls)
+	m.Add("conflicts", s.Conflicts)
+	m.Add("decisions", s.Decisions)
+	m.Add("propagations", s.Propagations)
+}

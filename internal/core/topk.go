@@ -21,6 +21,18 @@ func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*So
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	if k == 1 {
+		// A top-1 query is exactly Analyze, which can exploit modular
+		// decomposition; enumeration beyond the first set needs global
+		// blocking clauses and stays monolithic.
+		if plan := decompositionPlan(tree, opts); plan != nil {
+			solution, err := Analyze(ctx, tree, opts)
+			if err != nil {
+				return nil, err
+			}
+			return []*Solution{solution}, nil
+		}
+	}
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)

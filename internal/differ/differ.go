@@ -85,12 +85,23 @@ const (
 	// CheckTopK marks a rank at which the MaxSAT blocking-clause
 	// enumeration and the BDD best-first enumeration disagree.
 	CheckTopK = "topk"
+	// CheckDecompose marks the modular-decomposition solve path
+	// disagreeing with the monolithic path on status, cost or
+	// probability.
+	CheckDecompose = "decompose"
 )
 
 // ProbTolerance is the relative tolerance for probability comparisons
 // against the BDD oracle; it matches the tolerance the core package
 // uses when cross-checking MaxSAT against the BDD baseline.
 const ProbTolerance = 1e-9
+
+// DecomposeTolerance is the relative tolerance for the decomposed vs
+// monolithic cross-check. It is looser than ProbTolerance because the
+// two paths round −ln(p) to scaled integers per sub-instance vs once
+// globally, so near-ties can resolve to cut sets whose probabilities
+// differ by the rounding granularity (~1e-7 relative at DefaultScale).
+const DecomposeTolerance = 1e-6
 
 // Options configures a differential check. The zero value selects the
 // full default portfolio, the default weight scale and no top-k pass.
@@ -436,7 +447,60 @@ func CheckTree(ctx context.Context, tree *ft.Tree, opts Options) (*Report, error
 	if opts.TopK > 0 && oracleErr == nil {
 		checkTopK(ctx, tree, opts, r)
 	}
+	checkDecomposition(ctx, tree, opts, r)
 	return r, nil
+}
+
+// checkDecomposition is the guard for the modular solve path: the
+// planner/scheduler pipeline and the monolithic single-instance solve
+// must agree on feasibility, cost and probability on every tree. The
+// module-size floor is forced down so even small fuzz trees exercise
+// the quotient construction.
+func checkDecomposition(ctx context.Context, tree *ft.Tree, opts Options, r *Report) {
+	copts := opts.coreOptions()
+	copts.Timeout = opts.Timeout
+	copts.DecomposeMinEvents = 2
+	dec, decErr := core.Analyze(ctx, tree, copts)
+	copts.NoDecompose = true
+	mono, monoErr := core.Analyze(ctx, tree, copts)
+
+	switch {
+	case decErr != nil && monoErr != nil:
+		// Both paths failed: either the top event cannot occur (both
+		// ErrNoCutSet — agreement) or the budget ran out for both (a
+		// fuzz artefact, not a disagreement).
+		return
+	case decErr != nil:
+		if ctx.Err() != nil {
+			return
+		}
+		r.diverge(CheckDecompose, "", "decomposed solve failed (%v) but monolithic found p=%g", decErr, mono.Probability)
+		return
+	case monoErr != nil:
+		if ctx.Err() != nil {
+			return
+		}
+		r.diverge(CheckDecompose, "", "monolithic solve failed (%v) but decomposed found p=%g", monoErr, dec.Probability)
+		return
+	}
+
+	if dec.Status == "OPTIMAL" && mono.Status == "OPTIMAL" {
+		if !fp.EqTol(dec.Probability, mono.Probability, DecomposeTolerance) {
+			r.diverge(CheckDecompose, "", "decomposed p=%g (%v), monolithic p=%g (%v)",
+				dec.Probability, dec.CutSetIDs(), mono.Probability, mono.CutSetIDs())
+		}
+		if !fp.EqTol(dec.LogCost, mono.LogCost, DecomposeTolerance) {
+			r.diverge(CheckDecompose, "", "decomposed logCost=%g, monolithic logCost=%g", dec.LogCost, mono.LogCost)
+		}
+		return
+	}
+	// An anytime (FEASIBLE) answer on either side is a budget artefact,
+	// but a decomposed incumbent must still never beat a proven
+	// monolithic optimum.
+	if mono.Status == "OPTIMAL" && dec.Probability > mono.Probability*(1+DecomposeTolerance) {
+		r.diverge(CheckDecompose, "", "decomposed anytime p=%g exceeds monolithic optimum p=%g",
+			dec.Probability, mono.Probability)
+	}
 }
 
 // checkTopK cross-checks the MaxSAT blocking-clause ranking against the

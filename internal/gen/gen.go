@@ -294,3 +294,87 @@ func logUniform(rng *rand.Rand, lo, hi float64) float64 {
 	u := rng.Float64()
 	return lo * math.Pow(hi/lo, u)
 }
+
+// ModularConfig parameterises Modular: a tree with a known number of
+// independent Dutuit–Rauzy modules, the ground-truth workload for
+// decomposition tests and benchmarks.
+type ModularConfig struct {
+	// Modules is the number of independent subtrees under the top gate
+	// (≥ 2). Each becomes a proper module of the combined tree.
+	Modules int
+	// EventsPerModule is the number of basic events in each module
+	// (≥ 2).
+	EventsPerModule int
+	// TopAnd selects an AND top gate (all modules must fail) instead of
+	// the default OR (any module suffices).
+	TopAnd bool
+	// MaxFanIn, AndBias, VotingFrac, MinProb and MaxProb shape each
+	// module's internal structure exactly as in Config.
+	MaxFanIn         int
+	AndBias          float64
+	VotingFrac       float64
+	MinProb, MaxProb float64
+	// Seed makes generation reproducible; module i is generated from
+	// Seed+i.
+	Seed int64
+}
+
+// Modular generates a tree of cfg.Modules independent random subtrees
+// joined by one top gate. Every subtree's root is a module of the
+// combined tree (its events and gates carry a per-module id prefix, so
+// nothing is shared across module boundaries), giving decomposition
+// tests and benchmarks a known module count to assert against.
+func Modular(cfg ModularConfig) (*ft.Tree, error) {
+	if cfg.Modules < 2 {
+		return nil, fmt.Errorf("gen: need at least 2 modules, got %d", cfg.Modules)
+	}
+	if cfg.EventsPerModule < 2 {
+		return nil, fmt.Errorf("gen: need at least 2 events per module, got %d", cfg.EventsPerModule)
+	}
+	t := ft.New(fmt.Sprintf("modular-%dx%d-%d", cfg.Modules, cfg.EventsPerModule, cfg.Seed))
+	roots := make([]string, 0, cfg.Modules)
+	for i := 0; i < cfg.Modules; i++ {
+		sub, err := Random(Config{
+			Events:     cfg.EventsPerModule,
+			MaxFanIn:   cfg.MaxFanIn,
+			AndBias:    cfg.AndBias,
+			VotingFrac: cfg.VotingFrac,
+			MinProb:    cfg.MinProb,
+			MaxProb:    cfg.MaxProb,
+			Seed:       cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		prefix := "m" + strconv.Itoa(i+1) + "_"
+		for _, e := range sub.Events() {
+			if err := t.AddEventDesc(prefix+e.ID, e.Description, e.Prob); err != nil {
+				return nil, err
+			}
+		}
+		for _, g := range sub.Gates() {
+			inputs := make([]string, len(g.Inputs))
+			for j, in := range g.Inputs {
+				inputs[j] = prefix + in
+			}
+			if err := t.AddGate(prefix+g.ID, g.Description, g.Type, g.K, inputs...); err != nil {
+				return nil, err
+			}
+		}
+		roots = append(roots, prefix+sub.Top())
+	}
+	var err error
+	if cfg.TopAnd {
+		err = t.AddAnd("top", roots...)
+	} else {
+		err = t.AddOr("top", roots...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.SetTop("top")
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated modular tree invalid: %w", err)
+	}
+	return t, nil
+}

@@ -202,3 +202,76 @@ func TestRandomVotingGatesAppear(t *testing.T) {
 		t.Error("VotingFrac 0.5 produced no voting gates")
 	}
 }
+
+// TestModularKnownModuleCount: every generated subtree root must be a
+// Dutuit–Rauzy module of the combined tree — the ground truth the
+// decomposition planner and benchmarks rely on.
+func TestModularKnownModuleCount(t *testing.T) {
+	for _, m := range []int{2, 4, 6} {
+		tree, err := Modular(ModularConfig{
+			Modules:         m,
+			EventsPerModule: 12,
+			Seed:            int64(m),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := tree.NumEvents(), m*12; got != want {
+			t.Fatalf("modules=%d: %d events, want %d", m, got, want)
+		}
+		modules, err := tree.Modules()
+		if err != nil {
+			t.Fatal(err)
+		}
+		isModule := make(map[string]bool, len(modules))
+		for _, id := range modules {
+			isModule[id] = true
+		}
+		top := tree.Gate(tree.Top())
+		if top == nil || len(top.Inputs) != m {
+			t.Fatalf("modules=%d: top gate has %v inputs", m, top)
+		}
+		for _, root := range top.Inputs {
+			if !isModule[root] {
+				t.Fatalf("modules=%d: subtree root %s is not a module (modules: %v)", m, root, modules)
+			}
+		}
+	}
+}
+
+// TestModularDeterministic: same config, same tree.
+func TestModularDeterministic(t *testing.T) {
+	cfg := ModularConfig{Modules: 3, EventsPerModule: 10, Seed: 42}
+	a, err := Modular(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Modular(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("same seed produced different modular trees")
+	}
+}
+
+// TestModularRejectsDegenerateConfigs.
+func TestModularRejectsDegenerateConfigs(t *testing.T) {
+	if _, err := Modular(ModularConfig{Modules: 1, EventsPerModule: 5}); err == nil {
+		t.Fatal("Modules=1 accepted")
+	}
+	if _, err := Modular(ModularConfig{Modules: 3, EventsPerModule: 1}); err == nil {
+		t.Fatal("EventsPerModule=1 accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package sched provides the shared-budget batch scheduler underneath
+// every multi-solve workload: a fixed pool of workers executes submitted
+// tasks concurrently, so one worker budget covers a whole decomposition
+// plan (internal/decomp), a fleet of instances (ftbench -fleet), or any
+// future batch consumer — throughput is bounded by the budget the
+// caller chose, never by how many tasks arrive.
+//
+// The pool is deliberately small in concept: Submit enqueues a task and
+// applies backpressure when every worker is busy and the queue is full;
+// Close drains in-flight work and joins the workers, so no goroutine
+// outlives the pool. Cancellation is cooperative — a task receives the
+// context it was submitted under and is expected to honour it; Submit
+// itself aborts (instead of blocking forever) when that context dies
+// while the queue is full.
+//
+// Deadline budgeting is a separate, composable concern: Carve derives a
+// child context holding a share of the parent's remaining time, the
+// mechanism by which a plan node or a fleet instance gets a bounded
+// slice of the overall budget instead of starving its siblings.
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("sched: pool is closed")
+
+// task pairs a unit of work with the context it was submitted under.
+type task struct {
+	ctx context.Context
+	run func(context.Context)
+}
+
+// Pool is a fixed-size worker pool. Construct with New; the zero value
+// is not usable.
+type Pool struct {
+	tasks chan task
+	wg    sync.WaitGroup // joins the workers
+
+	mu     sync.Mutex
+	closed bool // guarded by mu
+}
+
+// New returns a running pool with the given number of workers; values
+// below 1 select GOMAXPROCS. The queue holds one pending task per
+// worker beyond the ones executing, so submitters feel backpressure
+// rather than buffering unboundedly.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan task, workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return cap(p.tasks) }
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		t.run(t.ctx)
+	}
+}
+
+// Submit enqueues run to execute on a worker with ctx. It blocks while
+// the queue is full and returns ctx's error if the context dies first —
+// a cancelled batch stops submitting instead of wedging. Once Submit
+// returns nil, run is invoked exactly once, even if ctx has since been
+// cancelled — the task observes cancellation through its context, and
+// callers can rely on one completion per accepted task for their own
+// accounting. Returns ErrClosed after Close.
+func (p *Pool) Submit(ctx context.Context, run func(context.Context)) error {
+	t := task{ctx: ctx, run: run}
+	for {
+		sent, err := p.tryReserve(t)
+		if err != nil || sent {
+			return err
+		}
+		// Queue full: back off outside the lock, watching the context.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+			// Brief backoff, then retry the reservation. The backoff only
+			// runs under sustained backpressure (queue full with every
+			// worker busy), where sub-millisecond latency is immaterial.
+		}
+	}
+}
+
+// tryReserve makes one locked attempt to enqueue t: the send happens
+// under the same mutex that guards Close's channel close, so a
+// reserved send can never race a close(p.tasks). Returns (false, nil)
+// when the queue is full.
+func (p *Pool) tryReserve(t task) (sent bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false, ErrClosed
+	}
+	select {
+	case p.tasks <- t:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// Close stops accepting tasks, waits for queued and in-flight tasks to
+// finish, and joins the workers. Safe to call more than once;
+// concurrent Submits return ErrClosed. Queued tasks whose context has
+// been cancelled still run (and are expected to return promptly), so
+// Close after a cancellation does not strand anyone waiting on a
+// task's completion.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Carve derives a context holding a share of the parent's remaining
+// deadline budget: share ∈ (0,1] of the time left, but never less than
+// floor (so a node scheduled late still gets a workable slice — the
+// parent deadline itself still caps it). A parent without a deadline
+// yields a plain cancellable child: no budget to carve. The returned
+// cancel must be called.
+func Carve(ctx context.Context, share float64, floor time.Duration) (context.Context, context.CancelFunc) {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return context.WithCancel(ctx)
+	}
+	if share <= 0 {
+		share = 1
+	} else if share > 1 {
+		share = 1
+	}
+	remaining := time.Until(deadline)
+	slice := time.Duration(float64(remaining) * share)
+	if slice < floor {
+		slice = floor
+	}
+	if slice > remaining {
+		slice = remaining
+	}
+	return context.WithDeadline(ctx, time.Now().Add(slice))
+}

@@ -69,6 +69,8 @@ type (
 
 	// RandomTreeConfig parameterises the workload generator.
 	RandomTreeConfig = gen.Config
+	// ModularTreeConfig parameterises the modular workload generator.
+	ModularTreeConfig = gen.ModularConfig
 
 	// Analyzer caches the CNF encoding for repeated what-if analyses.
 	Analyzer = core.Analyzer
@@ -281,6 +283,11 @@ func IntervalProbability(tree *Tree, intervals map[string]Interval) (Interval, e
 // RandomTree generates a reproducible random fault tree for workloads
 // and benchmarks.
 func RandomTree(cfg RandomTreeConfig) (*Tree, error) { return gen.Random(cfg) }
+
+// ModularTree generates a tree with a known number of independent
+// modules under the top gate — the ground-truth workload for the
+// decomposition planner and fleet benchmarks.
+func ModularTree(cfg ModularTreeConfig) (*Tree, error) { return gen.Modular(cfg) }
 
 // ExampleFPS returns the paper's Fig. 1 Fire Protection System tree
 // (MPMCS {x1, x2}, probability 0.02).

@@ -20,6 +20,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,16 +30,23 @@ import (
 
 	"mpmcs4fta"
 	"mpmcs4fta/internal/obs"
+	"mpmcs4fta/internal/serve"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpmcs4fta:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string, stdout io.Writer) (err error) {
+// run executes the analysis and returns the process exit code from the
+// shared taxonomy (internal/serve status table): 0 OPTIMAL, 10
+// FEASIBLE (anytime answer, gap reported), 20 INFEASIBLE (no cut set —
+// an explicit empty-set document is still written), 4 deadline with
+// nothing to report, 2 usage or unreadable input, 1 internal failure.
+func run(args []string, stdout io.Writer) (code int, err error) {
 	fs := flag.NewFlagSet("mpmcs4fta", flag.ContinueOnError)
 	var (
 		input      = fs.String("input", "", "fault tree file (required)")
@@ -63,22 +71,22 @@ func run(args []string, stdout io.Writer) (err error) {
 		obsLinger  = fs.Duration("obs-linger", 0, "with -obs-listen: keep serving telemetry this long after the analysis completes")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return serve.ExitUsage, err
 	}
 	if *input == "" && fs.NArg() == 1 {
 		*input = fs.Arg(0)
 	}
 	if *input == "" {
 		fs.Usage()
-		return fmt.Errorf("-input is required")
+		return serve.ExitUsage, fmt.Errorf("-input is required")
 	}
 	if *topK < 1 {
-		return fmt.Errorf("-topk must be positive")
+		return serve.ExitUsage, fmt.Errorf("-topk must be positive")
 	}
 
 	tree, err := loadTree(*input, *format)
 	if err != nil {
-		return err
+		return serve.ExitUsage, err
 	}
 
 	opts := mpmcs4fta.Options{
@@ -94,8 +102,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		tracer = mpmcs4fta.NewJSONTracer()
 		opts.Tracer = tracer
 		defer func() {
-			if werr := writeTrace(*traceFile, tracer); err == nil {
-				err = werr
+			if werr := writeTrace(*traceFile, tracer); werr != nil && err == nil {
+				code, err = serve.ExitError, werr
 			}
 		}()
 	}
@@ -104,8 +112,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		metrics = mpmcs4fta.NewMetrics()
 		opts.Metrics = metrics
 		defer func() {
-			if werr := writeMetrics(*metricsOut, metrics); err == nil {
-				err = werr
+			if werr := writeMetrics(*metricsOut, metrics); werr != nil && err == nil {
+				code, err = serve.ExitError, werr
 			}
 		}()
 	}
@@ -119,7 +127,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		srv := mpmcs4fta.NewObsServer(metrics, bus)
 		bound, serr := srv.Start(*obsListen)
 		if serr != nil {
-			return serr
+			return serve.ExitError, serr
 		}
 		defer srv.Close()
 		defer func() {
@@ -134,7 +142,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	if *pprofAddr != "" {
 		bound, stop, perr := obs.StartPprofServer(*pprofAddr)
 		if perr != nil {
-			return perr
+			return serve.ExitError, perr
 		}
 		defer stop()
 		fmt.Fprintf(os.Stderr, "mpmcs4fta: pprof listening on http://%s/debug/pprof/\n", bound)
@@ -142,7 +150,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	if *cpuProfile != "" {
 		stop, perr := obs.StartCPUProfile(*cpuProfile)
 		if perr != nil {
-			return perr
+			return serve.ExitError, perr
 		}
 		defer stop()
 	}
@@ -150,15 +158,15 @@ func run(args []string, stdout io.Writer) (err error) {
 	if *wcnfFile != "" {
 		steps, err := mpmcs4fta.BuildSteps(tree, opts)
 		if err != nil {
-			return err
+			return serve.ExitError, err
 		}
 		f, err := os.Create(*wcnfFile)
 		if err != nil {
-			return err
+			return serve.ExitError, err
 		}
 		defer f.Close()
 		if err := steps.Instance.WriteWCNF(f); err != nil {
-			return err
+			return serve.ExitError, err
 		}
 	}
 
@@ -172,21 +180,46 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	case "bdd":
 		if *disjoint {
-			return fmt.Errorf("-disjoint requires -engine portfolio")
+			return serve.ExitUsage, fmt.Errorf("-disjoint requires -engine portfolio")
 		}
 		solutions, err = mpmcs4fta.AnalyzeTopKBDD(tree, *topK, opts)
 	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+		return serve.ExitUsage, fmt.Errorf("unknown engine %q", *engine)
 	}
-	if err != nil {
-		return err
+	switch {
+	case errors.Is(err, mpmcs4fta.ErrNoCutSet):
+		// A definitive verdict about the tree: the top event cannot
+		// occur. Report it as an explicit empty-set document, exit 20.
+		solutions = []*mpmcs4fta.Solution{{
+			Tree:        tree.Name(),
+			Method:      "Weighted Partial MaxSAT",
+			MPMCS:       []mpmcs4fta.SolutionEvent{},
+			Probability: 0,
+			Status:      serve.StatusInfeasible,
+		}}
+		err = nil
+	case errors.Is(err, mpmcs4fta.ErrNoAnswer):
+		return serve.ExitNoAnswer, err
+	case err != nil:
+		return serve.ExitError, err
+	}
+	// FEASIBLE anywhere in the ranking means the run hit its budget:
+	// the documents are sound but possibly not optimally ranked.
+	exitCode := serve.ExitOK
+	for _, sol := range solutions {
+		if sol.Status == serve.StatusFeasible {
+			exitCode = serve.ExitFeasible
+		}
+		if sol.Status == serve.StatusInfeasible {
+			exitCode = serve.ExitInfeasible
+		}
 	}
 
 	out := stdout
 	if *output != "" {
 		f, err := os.Create(*output)
 		if err != nil {
-			return err
+			return serve.ExitError, err
 		}
 		defer f.Close()
 		out = f
@@ -197,7 +230,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	case *report:
 		doc, rerr := buildReport(tree, solutions)
 		if rerr != nil {
-			return rerr
+			return serve.ExitError, rerr
 		}
 		err = enc.Encode(doc)
 	case *topK == 1:
@@ -206,7 +239,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		err = enc.Encode(solutions)
 	}
 	if err != nil {
-		return fmt.Errorf("encode solution: %w", err)
+		return serve.ExitError, fmt.Errorf("encode solution: %w", err)
 	}
 
 	if *dotFile != "" {
@@ -216,17 +249,17 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 		f, err := os.Create(*dotFile)
 		if err != nil {
-			return err
+			return serve.ExitError, err
 		}
 		defer f.Close()
 		if err := tree.WriteDot(f, mpmcs4fta.DotOptions{
 			Highlight:         highlight,
 			ShowProbabilities: true,
 		}); err != nil {
-			return err
+			return serve.ExitError, err
 		}
 	}
-	return nil
+	return exitCode, nil
 }
 
 // ftaReport is the extended output of -report: the ranked solutions in

@@ -38,7 +38,7 @@ func writeTemp(t *testing.T, name, content string) string {
 func TestRunFPSText(t *testing.T) {
 	input := writeTemp(t, "fps.txt", fpsText)
 	var out bytes.Buffer
-	if err := run([]string{"-input", input, "-sequential"}, &out); err != nil {
+	if _, err := run([]string{"-input", input, "-sequential"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var sol struct {
@@ -64,7 +64,7 @@ func TestRunJSONInputAndOutputs(t *testing.T) {
 	dotPath := filepath.Join(dir, "tree.dot")
 
 	var stdout bytes.Buffer
-	err := run([]string{
+	_, err := run([]string{
 		"-input", input,
 		"-output", outPath,
 		"-dot", dotPath,
@@ -94,7 +94,7 @@ func TestRunJSONInputAndOutputs(t *testing.T) {
 func TestRunTopK(t *testing.T) {
 	input := writeTemp(t, "fps.txt", fpsText)
 	var out bytes.Buffer
-	if err := run([]string{"-input", input, "-topk", "5", "-sequential"}, &out); err != nil {
+	if _, err := run([]string{"-input", input, "-topk", "5", "-sequential"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var sols []json.RawMessage
@@ -109,7 +109,7 @@ func TestRunTopK(t *testing.T) {
 func TestRunBDDEngine(t *testing.T) {
 	input := writeTemp(t, "fps.txt", fpsText)
 	var out bytes.Buffer
-	if err := run([]string{"-input", input, "-engine", "bdd"}, &out); err != nil {
+	if _, err := run([]string{"-input", input, "-engine", "bdd"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Rauzy") {
@@ -120,7 +120,7 @@ func TestRunBDDEngine(t *testing.T) {
 func TestRunBDDEngineTopK(t *testing.T) {
 	input := writeTemp(t, "fps.txt", fpsText)
 	var out bytes.Buffer
-	if err := run([]string{"-input", input, "-engine", "bdd", "-topk", "3"}, &out); err != nil {
+	if _, err := run([]string{"-input", input, "-engine", "bdd", "-topk", "3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var sols []json.RawMessage
@@ -136,7 +136,7 @@ func TestRunWCNFExport(t *testing.T) {
 	input := writeTemp(t, "fps.txt", fpsText)
 	wcnfPath := filepath.Join(t.TempDir(), "inst.wcnf")
 	var out bytes.Buffer
-	if err := run([]string{"-input", input, "-wcnf", wcnfPath, "-sequential"}, &out); err != nil {
+	if _, err := run([]string{"-input", input, "-wcnf", wcnfPath, "-sequential"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(wcnfPath)
@@ -156,7 +156,7 @@ func TestRunWCNFExport(t *testing.T) {
 func TestRunReport(t *testing.T) {
 	input := writeTemp(t, "fps.txt", fpsText)
 	var out bytes.Buffer
-	if err := run([]string{"-input", input, "-report", "-topk", "3", "-sequential"}, &out); err != nil {
+	if _, err := run([]string{"-input", input, "-report", "-topk", "3", "-sequential"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -199,8 +199,12 @@ func TestRunErrors(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(tt.args, &out); err == nil {
+			code, err := run(tt.args, &out)
+			if err == nil {
 				t.Error("expected error")
+			}
+			if code == 0 {
+				t.Errorf("exit code 0 for a failed run")
 			}
 		})
 	}
@@ -214,7 +218,7 @@ func TestRunTraceAndMetrics(t *testing.T) {
 
 	var out bytes.Buffer
 	// Positional input (no -input flag) is part of the contract here.
-	err := run([]string{"-trace", tracePath, "-metrics", metricsPath, input}, &out)
+	_, err := run([]string{"-trace", tracePath, "-metrics", metricsPath, input}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +277,7 @@ func TestRunCPUProfile(t *testing.T) {
 	input := writeTemp(t, "fps.txt", fpsText)
 	profPath := filepath.Join(t.TempDir(), "cpu.prof")
 	var out bytes.Buffer
-	if err := run([]string{"-cpuprofile", profPath, "-sequential", input}, &out); err != nil {
+	if _, err := run([]string{"-cpuprofile", profPath, "-sequential", input}, &out); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(profPath)
@@ -291,10 +295,49 @@ func TestRunFormatOverride(t *testing.T) {
 	jsonTree := `{"name":"t","top":"g","events":[{"id":"a","probability":0.5},{"id":"b","probability":0.5}],"gates":[{"id":"g","type":"and","inputs":["a","b"]}]}`
 	input := writeTemp(t, "tree.dat", jsonTree)
 	var out bytes.Buffer
-	if err := run([]string{"-input", input, "-format", "json", "-sequential"}, &out); err != nil {
+	if _, err := run([]string{"-input", input, "-format", "json", "-sequential"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "\"probability\": 0.25") {
 		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+// Exit codes follow the shared taxonomy (internal/serve): 0 OPTIMAL,
+// 20 INFEASIBLE with an explicit empty-set document on stdout.
+func TestRunExitCodes(t *testing.T) {
+	input := writeTemp(t, "fps.txt", fpsText)
+	var out bytes.Buffer
+	code, err := run([]string{"-input", input, "-sequential"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("optimal run: code %d, err %v, want 0, nil", code, err)
+	}
+
+	impossible := `
+tree impossible
+top top
+event never 0
+event pump 0.1
+gate top and never pump
+`
+	input = writeTemp(t, "impossible.txt", impossible)
+	out.Reset()
+	code, err = run([]string{"-input", input, "-sequential"}, &out)
+	if err != nil {
+		t.Fatalf("infeasible tree is a verdict, not an error: %v", err)
+	}
+	if code != 20 {
+		t.Errorf("infeasible exit code %d, want 20", code)
+	}
+	var sol struct {
+		MPMCS       []json.RawMessage `json:"mpmcs"`
+		Probability float64           `json:"probability"`
+		Status      string            `json:"status"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sol); err != nil {
+		t.Fatalf("no empty-set document on stdout: %v\n%s", err, out.String())
+	}
+	if sol.MPMCS == nil || len(sol.MPMCS) != 0 || sol.Probability != 0 || sol.Status != "INFEASIBLE" {
+		t.Errorf("malformed empty-set document: %s", out.String())
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"mpmcs4fta/internal/cnf"
 	"mpmcs4fta/internal/maxsat"
 	"mpmcs4fta/internal/portfolio"
+	"mpmcs4fta/internal/serve"
 )
 
 func main() {
@@ -33,8 +34,9 @@ func main() {
 }
 
 // run executes the solver and returns the process exit code following
-// MaxSAT-evaluation conventions: 0 unknown/error, 30 optimum found,
-// 20 unsatisfiable, 10 satisfiable (anytime incumbent whose optimality
+// MaxSAT-evaluation conventions (serve.WPMSExitCode, one row of the
+// shared status table): 0 unknown/error, 30 optimum found, 20
+// unsatisfiable, 10 satisfiable (anytime incumbent whose optimality
 // was not proven before the deadline).
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("wpms", flag.ContinueOnError)
@@ -99,14 +101,12 @@ func run(args []string, stdout io.Writer) (int, error) {
 	switch res.Status {
 	case maxsat.Infeasible:
 		fmt.Fprintln(stdout, "s UNSATISFIABLE")
-		return 20, nil
 	case maxsat.Optimal:
 		fmt.Fprintf(stdout, "o %d\n", res.Cost)
 		fmt.Fprintln(stdout, "s OPTIMUM FOUND")
 		if !*quiet {
 			fmt.Fprintln(stdout, "v "+modelLine(res.Model, inst.NumVars))
 		}
-		return 30, nil
 	case maxsat.Feasible:
 		fmt.Fprintf(stdout, "c lower bound %d, optimality gap %d\n", res.LowerBound, res.Gap())
 		fmt.Fprintf(stdout, "o %d\n", res.Cost)
@@ -114,11 +114,10 @@ func run(args []string, stdout io.Writer) (int, error) {
 		if !*quiet {
 			fmt.Fprintln(stdout, "v "+modelLine(res.Model, inst.NumVars))
 		}
-		return 10, nil
 	default:
 		fmt.Fprintln(stdout, "s UNKNOWN")
-		return 0, nil
 	}
+	return serve.WPMSExitCode(res.Status), nil
 }
 
 func engineByName(name string) (maxsat.Solver, error) {

@@ -44,7 +44,24 @@ var (
 	// ErrZeroProbability is returned when every cut set has probability
 	// zero (all involve impossible events).
 	ErrZeroProbability = errors.New("core: all cut sets have probability zero")
+	// ErrNoAnswer is returned when the solve ended (deadline expiry,
+	// cancellation) before any answer — optimal, anytime incumbent or
+	// infeasibility proof — was established. It is distinct from
+	// ErrNoCutSet: "we ran out of time" is not "the tree has no cut
+	// set", and conflating them turns a transient budget artefact into
+	// a wrong (and cacheable) verdict about the tree.
+	ErrNoAnswer = errors.New("core: no answer before the deadline")
 )
+
+// noAnswerErr wraps ErrNoAnswer together with the context's own error
+// when the context has expired, so callers can match either sentinel
+// (errors.Is(err, ErrNoAnswer), errors.Is(err, context.DeadlineExceeded)).
+func noAnswerErr(ctx context.Context) error {
+	if cause := ctx.Err(); cause != nil {
+		return fmt.Errorf("%w (%w)", ErrNoAnswer, cause)
+	}
+	return ErrNoAnswer
+}
 
 // Options configures the pipeline. The zero value selects defaults.
 type Options struct {
@@ -340,7 +357,7 @@ func Analyze(ctx context.Context, tree *ft.Tree, opts Options) (*Solution, error
 	case maxsat.Optimal, maxsat.Feasible:
 		// proceed; Feasible is the anytime answer under a deadline
 	default:
-		return nil, fmt.Errorf("core: solver returned no answer (status %v)", res.Status)
+		return nil, noAnswerErr(ctx)
 	}
 	solution, err := decodeSolution(tree, steps, res, report, opts, root)
 	if err != nil {
@@ -381,6 +398,13 @@ func solveInstance(ctx context.Context, inst *cnf.WCNF, opts Options) (maxsat.Re
 		res, report, err = portfolio.SolveSequential(ctx, inst, opts.Engines)
 	} else {
 		res, report, err = portfolio.Solve(ctx, inst, opts.Engines)
+	}
+	if err != nil && errors.Is(err, portfolio.ErrNoAnswer) {
+		// Translate the portfolio's "race ended empty-handed" into the
+		// pipeline taxonomy: callers must be able to tell a budget
+		// expiry (ErrNoAnswer) from a verdict about the tree
+		// (ErrNoCutSet), or a cache would make the wrong one permanent.
+		err = fmt.Errorf("%w (%w)", ErrNoAnswer, err)
 	}
 	if bus.Enabled() {
 		finished := obs.SolveFinished{

@@ -79,7 +79,7 @@ func analyzeDecomposed(ctx context.Context, tree *ft.Tree, plan *decomp.Plan, op
 			return sol, nil
 		case maxsat.Optimal, maxsat.Feasible:
 		default:
-			return sol, fmt.Errorf("core: module %q returned no answer (status %v)", node.ID, res.Status)
+			return sol, fmt.Errorf("core: module %q: %w", node.ID, noAnswerErr(nodeCtx))
 		}
 
 		failed := make(map[string]bool, len(steps.Weights))

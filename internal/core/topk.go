@@ -16,10 +16,27 @@ import (
 // of every previously reported cut set to survive, which excludes that
 // set and all its supersets — exactly the fault-prioritisation workflow
 // the paper motivates.
+//
+// When the deadline expires before the first round produces anything,
+// the error wraps ErrNoAnswer (and the context's error), never
+// ErrNoCutSet: a timeout is not an infeasibility proof. A deadline
+// that strikes after some rounds completed returns those rounds.
 func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*Solution, error) {
+	out, _, err := AnalyzeTopKComplete(ctx, tree, k, opts)
+	return out, err
+}
+
+// AnalyzeTopKComplete is AnalyzeTopK plus an exactness verdict:
+// complete is true only when every returned solution is proven OPTIMAL
+// and the enumeration itself is exhaustive — either k sets were
+// produced, or the solver proved no further cut set exists. A deadline
+// truncation (fewer than k sets without an infeasibility proof, or a
+// FEASIBLE final round) reports complete=false, which is the signal a
+// result cache needs: only complete enumerations may be reused.
+func AnalyzeTopKComplete(ctx context.Context, tree *ft.Tree, k int, opts Options) (out []*Solution, complete bool, err error) {
 	opts = opts.withDefaults()
 	if k < 1 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+		return nil, false, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	if k == 1 {
 		// A top-1 query is exactly Analyze, which can exploit modular
@@ -28,9 +45,9 @@ func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*So
 		if plan := decompositionPlan(tree, opts); plan != nil {
 			solution, err := Analyze(ctx, tree, opts)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			return []*Solution{solution}, nil
+			return []*Solution{solution}, solution.Status == maxsat.Optimal.String(), nil
 		}
 	}
 	if opts.Timeout > 0 {
@@ -46,26 +63,38 @@ func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*So
 	}
 	steps, err := buildSteps(tree, opts, root)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	instance := steps.Instance.Clone()
 
-	var out []*Solution
+	complete = true // until a deadline truncation proves otherwise
 	for round := 0; round < k; round++ {
 		start := time.Now()
 		res, report, err := solveSpanned(ctx, instance, opts, root)
 		if err != nil {
-			return out, err
+			return out, false, err
 		}
 		if res.Status == maxsat.Infeasible {
+			if round == 0 {
+				// No cut set at all: a genuine infeasibility proof, not
+				// a budget artefact.
+				return nil, true, ErrNoCutSet
+			}
 			break // all cut sets enumerated
 		}
 		if res.Status == maxsat.Unknown {
-			break // deadline with nothing to report; keep earlier rounds
+			// Deadline with nothing to report this round: keep earlier
+			// rounds, but the enumeration is truncated, and an empty
+			// result is "no answer", never "no cut set".
+			complete = false
+			if round == 0 {
+				return nil, false, noAnswerErr(ctx)
+			}
+			break
 		}
 		solution, err := decodeSolution(tree, steps, res, report, opts, root)
 		if err != nil {
-			return out, err
+			return out, false, err
 		}
 		solution.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 		recordAnalysisMetrics(opts.Metrics, solution, report)
@@ -73,6 +102,7 @@ func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*So
 		if res.Status == maxsat.Feasible {
 			// An anytime round is not proven maximal, so later rounds
 			// could rank out of order: report it and stop enumerating.
+			complete = false
 			break
 		}
 
@@ -89,8 +119,5 @@ func AnalyzeTopK(ctx context.Context, tree *ft.Tree, k int, opts Options) ([]*So
 		}
 		instance.AddHard(block...)
 	}
-	if len(out) == 0 {
-		return nil, ErrNoCutSet
-	}
-	return out, nil
+	return out, complete, nil
 }

@@ -73,7 +73,15 @@ func AnalyzeDisjoint(ctx context.Context, tree *ft.Tree, k int, opts Options) ([
 		if err != nil {
 			return out, err
 		}
-		if res.Status == maxsat.Infeasible || res.Status == maxsat.Unknown {
+		if res.Status == maxsat.Infeasible {
+			break // no cut set avoids all previous events
+		}
+		if res.Status == maxsat.Unknown {
+			// Deadline with nothing this round: keep earlier rounds, and
+			// an empty result is "no answer", not "no cut set".
+			if len(out) == 0 {
+				return nil, noAnswerErr(ctx)
+			}
 			break
 		}
 		solution, err := buildSolution(tree, steps, res, report, opts)

@@ -67,7 +67,7 @@ func (a *Analyzer) Analyze(ctx context.Context, overrides map[string]float64) (*
 		return nil, ErrNoCutSet
 	case maxsat.Optimal, maxsat.Feasible:
 	default:
-		return nil, fmt.Errorf("core: solver returned no answer (status %v)", res.Status)
+		return nil, noAnswerErr(ctx)
 	}
 	steps := &Steps{Encoding: a.enc, Weights: weights, Instance: instance}
 	sol, err := decodeSolution(working, steps, res, report, a.opts, root)
@@ -153,7 +153,16 @@ func AnalyzeAbove(ctx context.Context, tree *ft.Tree, minProb float64, opts Opti
 		if err != nil {
 			return out, err
 		}
-		if res.Status == maxsat.Infeasible || res.Status == maxsat.Unknown {
+		if res.Status == maxsat.Infeasible {
+			break // every cut set enumerated; the rest rank below minProb
+		}
+		if res.Status == maxsat.Unknown {
+			// Deadline with nothing this round. An empty result must not
+			// read as "no cut set reaches the threshold" when the truth
+			// is "the solver never answered".
+			if len(out) == 0 {
+				return nil, noAnswerErr(ctx)
+			}
 			break
 		}
 		solution, err := decodeSolution(tree, steps, res, report, opts, root)

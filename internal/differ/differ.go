@@ -37,6 +37,7 @@ package differ
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -510,6 +511,11 @@ func checkTopK(ctx context.Context, tree *ft.Tree, opts Options, r *Report) {
 	copts.Timeout = opts.Timeout
 	viaSAT, err := core.AnalyzeTopK(ctx, tree, opts.TopK, copts)
 	if err != nil {
+		if errors.Is(err, core.ErrNoAnswer) {
+			// The deadline struck before round 0 produced anything — a
+			// budget artefact of anytime mode, not a disagreement.
+			return
+		}
 		r.diverge(CheckTopK, "", "MaxSAT top-%d enumeration failed: %v", opts.TopK, err)
 		return
 	}

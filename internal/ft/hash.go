@@ -1,0 +1,101 @@
+package ft
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CanonicalHash returns a content address for the tree's analysis
+// semantics: two trees hash equal exactly when every MPMCS-style query
+// (Analyze, AnalyzeTopK, the quantitative measures) is guaranteed the
+// same answer on both. It is the cache key of the mpmcsd solution
+// cache, so the invariances are deliberately conservative:
+//
+//   - Gate ids and descriptions are normalized away: internal nodes are
+//     identified purely by their position in the canonical structure,
+//     so renaming a gate does not change the hash. (Gate ids never
+//     appear in a Solution document.)
+//   - Child order is irrelevant: a gate's inputs are hashed as a sorted
+//     multiset, so permuting inputs does not change the hash.
+//   - Only the sub-DAG reachable from the top event contributes:
+//     disconnected islands cannot influence any analysis.
+//   - The tree's name is excluded — it is presentation, not semantics.
+//
+// Everything that can influence an answer document is included: the
+// gate types and voting thresholds along each path, and for every
+// reachable basic event its id, description and the exact bit pattern
+// of its probability (Solution documents carry all three).
+//
+// The hash is a SHA-256 Merkle digest over the reachable DAG, so
+// shared subtrees are hashed once and the cost is linear in the number
+// of reachable nodes. The returned string is "sha256:<hex>". The tree
+// must validate.
+func CanonicalHash(t *Tree) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	memo := make(map[string][sha256.Size]byte, len(t.gates)+len(t.events))
+	root := t.hashNode(t.top, memo)
+	sum := sha256.Sum256(append([]byte("mpmcs4fta-tree-v1\x00"), root[:]...))
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// hashNode computes the Merkle digest of one node. Events hash their
+// identity and probability bits; gates hash their type, threshold and
+// the sorted child digests. The tree is validated, so every id resolves
+// and the recursion terminates (no cycles).
+func (t *Tree) hashNode(id string, memo map[string][sha256.Size]byte) [sha256.Size]byte {
+	if sum, ok := memo[id]; ok {
+		return sum
+	}
+	h := sha256.New()
+	if e, ok := t.events[id]; ok {
+		h.Write([]byte("event\x00"))
+		writeLenPrefixed(h, e.ID)
+		writeLenPrefixed(h, e.Description)
+		var bits [8]byte
+		binary.BigEndian.PutUint64(bits[:], probBits(e.Prob))
+		h.Write(bits[:])
+	} else {
+		g := t.gates[id]
+		fmt.Fprintf(h, "gate\x00%d\x00%d\x00%d\x00", int(g.Type), g.K, len(g.Inputs))
+		children := make([][sha256.Size]byte, len(g.Inputs))
+		for i, in := range g.Inputs {
+			children[i] = t.hashNode(in, memo)
+		}
+		sort.Slice(children, func(i, j int) bool {
+			return string(children[i][:]) < string(children[j][:])
+		})
+		for _, c := range children {
+			h.Write(c[:])
+		}
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	memo[id] = sum
+	return sum
+}
+
+// writeLenPrefixed writes a length-prefixed string so concatenated
+// fields cannot alias each other ("ab"+"c" vs "a"+"bc").
+func writeLenPrefixed(h interface{ Write([]byte) (int, error) }, s string) {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}
+
+// probBits canonicalizes a probability to its IEEE-754 bit pattern.
+// Validation rejects NaN and values outside [0,1]; negative zero is
+// folded into +0 so the two representations of p=0 hash equal.
+func probBits(p float64) uint64 {
+	bits := math.Float64bits(p)
+	if bits == math.Float64bits(math.Copysign(0, -1)) {
+		bits = 0
+	}
+	return bits
+}

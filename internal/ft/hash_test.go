@@ -1,0 +1,206 @@
+package ft
+
+import (
+	"strings"
+	"testing"
+)
+
+// hashTree builds the reference tree used across the hash tests:
+//
+//	top = AND(g1, g2); g1 = OR(a, b); g2 = VOTING2(b, c, d)
+func hashTree(t *testing.T) *Tree {
+	t.Helper()
+	tree := New("reference")
+	for _, e := range []struct {
+		id string
+		p  float64
+	}{{"a", 0.1}, {"b", 0.2}, {"c", 0.3}, {"d", 0.4}} {
+		if err := tree.AddEvent(e.id, e.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.AddOr("g1", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddVoting("g2", 2, "b", "c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("top", "g1", "g2"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	return tree
+}
+
+func mustHash(t *testing.T, tree *Tree) string {
+	t.Helper()
+	h, err := CanonicalHash(tree)
+	if err != nil {
+		t.Fatalf("CanonicalHash: %v", err)
+	}
+	if !strings.HasPrefix(h, "sha256:") || len(h) != len("sha256:")+64 {
+		t.Fatalf("malformed hash %q", h)
+	}
+	return h
+}
+
+func TestCanonicalHashDeterministic(t *testing.T) {
+	a := mustHash(t, hashTree(t))
+	b := mustHash(t, hashTree(t))
+	if a != b {
+		t.Errorf("same construction hashed differently: %s vs %s", a, b)
+	}
+	if c := mustHash(t, hashTree(t).Clone()); c != a {
+		t.Errorf("clone hashed differently: %s vs %s", c, a)
+	}
+}
+
+// Permuting gate inputs and the node insertion order is a no-op.
+func TestCanonicalHashPermutedChildren(t *testing.T) {
+	ref := mustHash(t, hashTree(t))
+
+	// Insertion order scrambled, every input list reversed.
+	tree := New("permuted")
+	for _, e := range []struct {
+		id string
+		p  float64
+	}{{"d", 0.4}, {"c", 0.3}, {"b", 0.2}, {"a", 0.1}} {
+		if err := tree.AddEvent(e.id, e.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.AddVoting("g2", 2, "d", "c", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddOr("g1", "b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddAnd("top", "g2", "g1"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("top")
+	if got := mustHash(t, tree); got != ref {
+		t.Errorf("permuted children changed the hash: %s vs %s", got, ref)
+	}
+}
+
+// Renaming internal gates (and the tree itself) is a no-op: gate ids
+// never reach a solution document.
+func TestCanonicalHashRenamedGates(t *testing.T) {
+	ref := mustHash(t, hashTree(t))
+
+	tree := New("totally-different-name")
+	for _, e := range []struct {
+		id string
+		p  float64
+	}{{"a", 0.1}, {"b", 0.2}, {"c", 0.3}, {"d", 0.4}} {
+		if err := tree.AddEvent(e.id, e.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.AddOr("left-subsystem", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddVoting("right-subsystem", 2, "b", "c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddGate("system-failure", "described!", GateAnd, 0, "left-subsystem", "right-subsystem"); err != nil {
+		t.Fatal(err)
+	}
+	tree.SetTop("system-failure")
+	if got := mustHash(t, tree); got != ref {
+		t.Errorf("renamed gates changed the hash: %s vs %s", got, ref)
+	}
+}
+
+// Nodes unreachable from the top cannot influence any analysis and so
+// do not influence the hash.
+func TestCanonicalHashIgnoresUnreachable(t *testing.T) {
+	ref := mustHash(t, hashTree(t))
+	tree := hashTree(t)
+	if err := tree.AddEvent("orphan", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddOr("island", "orphan", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustHash(t, tree); got != ref {
+		t.Errorf("unreachable island changed the hash: %s vs %s", got, ref)
+	}
+}
+
+// Every semantic change must change the hash.
+func TestCanonicalHashSensitivity(t *testing.T) {
+	ref := mustHash(t, hashTree(t))
+
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, tree *Tree)
+	}{
+		{"changed probability", func(t *testing.T, tree *Tree) {
+			if err := tree.SetProb("c", 0.30000001); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"renamed event", func(t *testing.T, tree *Tree) {
+			// Rebuild g1 = OR(a2, b) with event a renamed to a2.
+			if err := tree.AddEvent("a2", 0.1); err != nil {
+				t.Fatal(err)
+			}
+			tree.gates["g1"].Inputs = []string{"a2", "b"}
+		}},
+		{"changed event description", func(t *testing.T, tree *Tree) {
+			tree.events["a"].Description = "pump fails"
+		}},
+		{"changed gate type", func(t *testing.T, tree *Tree) {
+			tree.gates["g1"].Type = GateAnd
+		}},
+		{"changed voting threshold", func(t *testing.T, tree *Tree) {
+			tree.gates["g2"].K = 3
+		}},
+		{"extra child", func(t *testing.T, tree *Tree) {
+			tree.gates["g1"].Inputs = append(tree.gates["g1"].Inputs, "c")
+		}},
+		{"different sharing", func(t *testing.T, tree *Tree) {
+			// b out of g2: VOTING2(b,c,d) → VOTING2(a,c,d).
+			tree.gates["g2"].Inputs = []string{"a", "c", "d"}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tree := hashTree(t)
+			tc.mutate(t, tree)
+			if got := mustHash(t, tree); got == ref {
+				t.Errorf("%s did not change the hash", tc.name)
+			}
+		})
+	}
+}
+
+// Duplicate-child multisets must not collapse: OR(a,a,b) ≠ OR(a,b,b).
+func TestCanonicalHashDuplicateChildren(t *testing.T) {
+	build := func(inputs ...string) *Tree {
+		tree := New("dup")
+		if err := tree.AddEvent("a", 0.1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.AddEvent("b", 0.2); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.AddOr("top", inputs...); err != nil {
+			t.Fatal(err)
+		}
+		tree.SetTop("top")
+		return tree
+	}
+	if mustHash(t, build("a", "a", "b")) == mustHash(t, build("a", "b", "b")) {
+		t.Error("OR(a,a,b) and OR(a,b,b) hashed equal")
+	}
+}
+
+func TestCanonicalHashInvalidTree(t *testing.T) {
+	tree := New("bad")
+	if _, err := CanonicalHash(tree); err == nil {
+		t.Error("expected error for tree without top")
+	}
+}

@@ -102,8 +102,8 @@ func TestSolveDeadlineNoIncumbent(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("error should wrap the parent deadline: %v", err)
 	}
-	if !strings.Contains(err.Error(), "no anytime answer") {
-		t.Errorf("error should say nothing was available: %v", err)
+	if !errors.Is(err, ErrNoAnswer) {
+		t.Errorf("error should wrap ErrNoAnswer: %v", err)
 	}
 	for _, rep := range report.Engines {
 		if !rep.Cancelled {

@@ -108,6 +108,13 @@ func (r *Report) WinnerReport() *EngineReport {
 // ErrNoEngines is returned when Solve is called with an empty portfolio.
 var ErrNoEngines = errors.New("portfolio: no engines")
 
+// ErrNoAnswer is returned (wrapped) when the race ends without any
+// answer at all — no optimum, no infeasibility proof, no anytime
+// incumbent. Callers use it to tell "the budget ran out before anything
+// was learned" apart from a genuine engine failure; the context's own
+// error, when the race was cancelled, is wrapped alongside.
+var ErrNoAnswer = errors.New("portfolio: no answer")
+
 // cancelledBySibling reports whether err looks like the interruption
 // the race's cancel signal produces (as opposed to an engine bug).
 func cancelledBySibling(err error) bool {
@@ -286,11 +293,11 @@ func Solve(ctx context.Context, inst *cnf.WCNF, engines []Engine) (maxsat.Result
 		return maxsat.Result{LowerBound: glb}, report, firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return maxsat.Result{LowerBound: glb}, report, fmt.Errorf("portfolio: no anytime answer before cancellation: %w", err)
+		return maxsat.Result{LowerBound: glb}, report, fmt.Errorf("%w before cancellation (%w)", ErrNoAnswer, err)
 	}
 	// Engines finished without error, model or proof (possible only in
 	// degenerate cooperative schedules).
-	return maxsat.Result{LowerBound: glb}, report, errors.New("portfolio: no engine produced an answer")
+	return maxsat.Result{LowerBound: glb}, report, fmt.Errorf("%w: no engine produced one", ErrNoAnswer)
 }
 
 // cancelCause names why the race stopped an engine, in precedence
@@ -423,7 +430,7 @@ func SolveSequential(ctx context.Context, inst *cnf.WCNF, engines []Engine) (max
 		return maxsat.Result{LowerBound: best.LowerBound}, report, firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return maxsat.Result{LowerBound: best.LowerBound}, report, fmt.Errorf("portfolio: no anytime answer before cancellation: %w", err)
+		return maxsat.Result{LowerBound: best.LowerBound}, report, fmt.Errorf("%w before cancellation (%w)", ErrNoAnswer, err)
 	}
-	return maxsat.Result{LowerBound: best.LowerBound}, report, errors.New("portfolio: no engine produced an answer")
+	return maxsat.Result{LowerBound: best.LowerBound}, report, fmt.Errorf("%w: no engine produced one", ErrNoAnswer)
 }

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// BenchmarkSubmitUncontended measures the fast path: a slot is free and
+// the reservation succeeds on the first locked attempt.
+func BenchmarkSubmitUncontended(b *testing.B) {
+	pool := New(2)
+	defer pool.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		if err := pool.Submit(ctx, func(context.Context) { wg.Done() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkSubmitBackpressure measures the hot submit path the fixed
+// 200µs time.After retry loop used to burn a timer allocation on:
+// more producers than workers, queue permanently full, every Submit
+// spinning through the backoff at least once. The per-op allocation
+// count is the regression signal — one reusable timer per Submit call,
+// not one per retry.
+func BenchmarkSubmitBackpressure(b *testing.B) {
+	pool := New(2)
+	defer pool.Close()
+	ctx := context.Background()
+
+	// Saturate: occupy both workers and the whole queue with tasks that
+	// each spin a little, so submitters keep colliding with a full
+	// queue for the whole benchmark.
+	var wg sync.WaitGroup
+	busy := func(context.Context) {
+		for i := 0; i < 2_000; i++ {
+			_ = i * i
+		}
+		wg.Done()
+	}
+	const producers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pwg sync.WaitGroup
+	per := b.N / producers
+	extra := b.N - per*producers
+	for p := 0; p < producers; p++ {
+		n := per
+		if p == 0 {
+			n += extra
+		}
+		pwg.Add(1)
+		go func(n int) {
+			defer pwg.Done()
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				if err := pool.Submit(ctx, busy); err != nil {
+					b.Error(err)
+					wg.Done()
+					return
+				}
+			}
+		}(n)
+	}
+	pwg.Wait()
+	wg.Wait()
+}

@@ -72,6 +72,15 @@ func (p *Pool) worker() {
 	}
 }
 
+// Submit backoff bounds: the first retry comes quickly so a transient
+// full queue costs almost nothing, then the wait doubles up to a cap
+// that keeps sustained backpressure cheap (a handful of wakeups per
+// millisecond-scale task) without adding meaningful submit latency.
+const (
+	submitBackoffMin = 50 * time.Microsecond
+	submitBackoffMax = 5 * time.Millisecond
+)
+
 // Submit enqueues run to execute on a worker with ctx. It blocks while
 // the queue is full and returns ctx's error if the context dies first —
 // a cancelled batch stops submitting instead of wedging. Once Submit
@@ -79,21 +88,40 @@ func (p *Pool) worker() {
 // cancelled — the task observes cancellation through its context, and
 // callers can rely on one completion per accepted task for their own
 // accounting. Returns ErrClosed after Close.
+//
+// Under sustained backpressure (queue full, every worker busy) Submit
+// waits with capped exponential backoff on one reusable timer, so the
+// hot submit path allocates a single timer per call instead of one per
+// retry.
 func (p *Pool) Submit(ctx context.Context, run func(context.Context)) error {
 	t := task{ctx: ctx, run: run}
-	for {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for wait := submitBackoffMin; ; {
 		sent, err := p.tryReserve(t)
 		if err != nil || sent {
 			return err
 		}
 		// Queue full: back off outside the lock, watching the context.
+		if timer == nil {
+			timer = time.NewTimer(wait)
+		} else {
+			timer.Reset(wait)
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(200 * time.Microsecond):
-			// Brief backoff, then retry the reservation. The backoff only
-			// runs under sustained backpressure (queue full with every
-			// worker busy), where sub-millisecond latency is immaterial.
+		case <-timer.C:
+		}
+		if wait < submitBackoffMax {
+			wait *= 2
+			if wait > submitBackoffMax {
+				wait = submitBackoffMax
+			}
 		}
 	}
 }

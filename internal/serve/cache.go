@@ -1,0 +1,110 @@
+package serve
+
+import "sync"
+
+// cache is the content-addressed solution store: canonical tree hash
+// (plus a "#k=N" suffix for enumerations) → finished solution
+// document. Only definitive documents (OPTIMAL, INFEASIBLE — see
+// Definitive) belong here; the server enforces that at the call site,
+// because a cached FEASIBLE or NO_ANSWER would freeze a budget
+// artefact into a permanent answer.
+//
+// Eviction is LRU over a bounded entry count: the documents are small
+// (a cut set plus weights), so a simple recency list is enough.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	// head is most recently used, tail least; both nil when empty.
+	head, tail *cacheEntry
+}
+
+type cacheEntry struct {
+	key        string
+	doc        Document // stored with Cached=false; treated as immutable
+	prev, next *cacheEntry
+}
+
+func newCache(max int) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{max: max, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns a copy of the stored document with Cached set, and
+// whether the key was present.
+func (c *cache) get(key string) (Document, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return Document{}, false
+	}
+	c.moveToFront(e)
+	doc := e.doc
+	doc.Cached = true
+	return doc, true
+}
+
+// put stores the document under key, evicting the least recently used
+// entry when full. The stored copy always has Cached=false: the flag
+// describes the response that carries it, not the entry.
+func (c *cache) put(key string, doc Document) {
+	doc.Cached = false
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.doc = doc
+		c.moveToFront(e)
+		return
+	}
+	e := &cacheEntry{key: key, doc: doc}
+	c.entries[key] = e
+	c.pushFront(e)
+	if len(c.entries) > c.max {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+	}
+}
+
+// len returns the number of stored documents.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *cache) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *cache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

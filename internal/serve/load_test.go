@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mpmcs4fta/internal/core"
+	"mpmcs4fta/internal/ft"
+	"mpmcs4fta/internal/gen"
+)
+
+// TestLoadConcurrentAnalyses is the tentpole's load harness: hundreds
+// of concurrent submissions over a small worker pool, a mix of repeat
+// trees (cache hits), distinct trees (real solves), top-k requests and
+// SSE streams. Every response must be well-formed with a taxonomy
+// status, and once the server closes, no goroutine may survive it.
+// Run under -race in CI.
+func TestLoadConcurrentAnalyses(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 4, CacheEntries: 64, Core: core.Options{Sequential: true}})
+	ts := httptest.NewServer(s.Handler())
+
+	// A pool of distinct small trees: variants of a two-layer system
+	// with per-variant probabilities, so each hashes differently, plus
+	// the library trees for repeat traffic.
+	variant := func(i int) []byte {
+		tree := ft.New(fmt.Sprintf("variant-%d", i))
+		p := 0.01 + float64(i%17)*0.013
+		for _, id := range []string{"a", "b", "c", "d"} {
+			if err := tree.AddEvent(id, p); err != nil {
+				t.Fatal(err)
+			}
+			p *= 1.3
+		}
+		if err := tree.AddOr("left", "a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.AddOr("right", "c", "d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.AddAnd("top", "left", "right"); err != nil {
+			t.Fatal(err)
+		}
+		tree.SetTop("top")
+		var buf bytes.Buffer
+		if err := tree.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	fps := treeJSON(t, gen.FPS())
+	tank := treeJSON(t, gen.PressureTank())
+
+	const requests = 240
+	client := ts.Client()
+	client.Timeout = 60 * time.Second
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		statuses = map[string]int{}
+		failures []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var (
+				url  = ts.URL + "/v1/analyze"
+				body []byte
+			)
+			switch i % 6 {
+			case 0:
+				body = fps // repeat tree: cache traffic
+			case 1:
+				body = tank
+			case 2:
+				url = ts.URL + "/v1/topk?k=2"
+				body = fps
+			case 3:
+				url = ts.URL + "/v1/analyze?stream=1"
+				body = variant(i % 17)
+			default:
+				body = variant(i % 17)
+			}
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				fail("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var doc *Document
+			if i%6 == 3 {
+				_, doc = sseFrames(t, resp)
+				if doc == nil {
+					fail("request %d: SSE stream without terminal frame", i)
+					return
+				}
+			} else {
+				doc = &Document{}
+				if err := json.NewDecoder(resp.Body).Decode(doc); err != nil {
+					fail("request %d: undecodable response: %v", i, err)
+					return
+				}
+			}
+			switch doc.Status {
+			case StatusOptimal, StatusFeasible, StatusInfeasible:
+				if len(doc.Solution) == 0 && len(doc.Solutions) == 0 {
+					fail("request %d: %s response without a solution document", i, doc.Status)
+				}
+			default:
+				fail("request %d: HTTP %d status %q (%s)", i, resp.StatusCode, doc.Status, doc.Error)
+			}
+			mu.Lock()
+			statuses[doc.Status]++
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if statuses[StatusOptimal] == 0 {
+		t.Errorf("no OPTIMAL answers across %d requests: %v", requests, statuses)
+	}
+	if hits := s.metrics.Get("mpmcsd_cache_hits"); hits == 0 {
+		t.Error("repeat submissions produced no cache hits")
+	}
+	if total := s.metrics.Get("mpmcsd_requests"); total != requests {
+		t.Errorf("mpmcsd_requests = %d, want %d", total, requests)
+	}
+
+	// Teardown: front-end first (kills request contexts), then the
+	// server (drains the pool, joins everything it started).
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+
+	// No goroutine outlives the server. Allow the runtime a moment to
+	// retire exiting goroutines before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines leaked past Close: %d before, %d after\n%s", before, after, buf[:n])
+	}
+}
+
+// Submissions racing the server's shutdown must fail cleanly (503 or a
+// transport error), never hang or panic.
+func TestSubmitDuringShutdown(t *testing.T) {
+	s := New(Config{Workers: 2, Core: core.Options{Sequential: true}})
+	ts := httptest.NewServer(s.Handler())
+	body := treeJSON(t, gen.FPS())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // server gone: acceptable
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}

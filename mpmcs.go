@@ -126,7 +126,16 @@ const (
 var (
 	// ErrNoCutSet reports that the top event cannot occur.
 	ErrNoCutSet = core.ErrNoCutSet
+	// ErrNoAnswer reports that the deadline expired (or the context was
+	// cancelled) before the analysis established any answer at all —
+	// distinct from ErrNoCutSet, which is a proof about the tree.
+	ErrNoAnswer = core.ErrNoAnswer
 )
+
+// CanonicalTreeHash returns the tree's content address ("sha256:…"):
+// equal for structurally identical trees regardless of gate naming and
+// child order — the mpmcsd solution-cache key (see ft.CanonicalHash).
+func CanonicalTreeHash(tree *Tree) (string, error) { return ft.CanonicalHash(tree) }
 
 // NewTree returns an empty fault tree with the given name.
 func NewTree(name string) *Tree { return ft.New(name) }

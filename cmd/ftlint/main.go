@@ -1,29 +1,41 @@
 // Command ftlint runs the repo's domain-aware static analyzers (see
-// internal/lint): ctxpoll, weightsafe, floatcmp, guardedby, spanclose
-// and goroutinewait. It is the mechanical enforcement of the solver
-// invariants that PR 4 had to restore by hand — engine loops that
-// honor cancellation, overflow-checked weight arithmetic, epsilon
-// probability comparison, locked access to shared bound state, closed
-// trace spans and joined goroutines.
+// internal/lint): ctxpoll, weightsafe, floatcmp, guardedby, spanclose,
+// goroutinewait, and the summary-driven second generation — arenaref
+// (clause-arena reference lifetimes across may-GC calls), lockorder
+// (global lock-ordering cycles and may-block calls under a mutex),
+// exactlyonce (pool-task result delivery that cannot wedge a worker)
+// and errtaxonomy (errors.Is over ==, %w over %v, serve responses
+// through the status.go table). It is the mechanical enforcement of
+// invariants previously restored by hand after incidents.
 //
 // Standalone over go package patterns:
 //
 //	ftlint ./...
 //	ftlint -json ./internal/sat ./internal/maxsat
 //	ftlint -c ctxpoll,weightsafe ./...
+//	ftlint -json -baseline testdata/lint/FINDINGS_baseline.json ./...
 //
 // or as a go vet tool (it speaks cmd/go's vet config protocol):
 //
 //	go vet -vettool=$(which ftlint) ./...
 //
 // Findings are suppressed with an auditable directive on or directly
-// above the offending line; the reason is mandatory:
+// above the offending line; the reason is mandatory, and a directive
+// that no longer suppresses anything is itself a finding (suppression
+// rot):
 //
 //	//lint:ignore ctxpoll sift-down is bounded by the heap height
 //
+// With -baseline, findings are diffed against a checked-in snapshot:
+// only regressions (findings absent from the baseline) fail the run,
+// so a new analyzer can gate CI on "no new violations" while legacy
+// ones are burned down; resolved baseline entries are listed so the
+// snapshot can shrink.
+//
 // Exit codes (matching ftdiff's contract so CI and nightly jobs can
-// tell findings from breakage): 0 no unsuppressed findings, 1 findings
-// reported, 2 usage or load error.
+// tell findings from breakage): 0 no unsuppressed findings (or, with
+// -baseline, no regressions), 1 findings reported, 2 usage or load
+// error.
 package main
 
 import (
@@ -32,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"mpmcs4fta/internal/lint"
@@ -61,12 +74,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ftlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit machine-readable findings (schema mpmcs4fta-ftlint/v1) on stdout")
-		list    = fs.Bool("list", false, "list the analyzers and exit")
-		checks  = fs.String("c", "", "comma-separated subset of analyzers to run (default: all)")
+		jsonOut  = fs.Bool("json", false, "emit machine-readable findings (schema mpmcs4fta-ftlint/v1) on stdout")
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		checks   = fs.String("c", "", "comma-separated subset of analyzers to run (default: all)")
+		baseline = fs.String("baseline", "", "diff findings against this checked-in report; only regressions fail")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: ftlint [-json] [-list] [-c analyzer,...] [packages]\n")
+		fmt.Fprintf(stderr, "usage: ftlint [-json] [-list] [-c analyzer,...] [-baseline report.json] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +108,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings := lint.Run(fset, targets, all, analyzers)
+	relativizeFiles(findings)
+
+	failing := findings
+	if *baseline != "" {
+		base, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "ftlint:", err)
+			return 2
+		}
+		regressions, resolved := lint.DiffBaseline(base, findings)
+		for _, d := range resolved {
+			fmt.Fprintf(stderr, "ftlint: baseline entry resolved (remove it): [%s] %s: %s\n",
+				d.Analyzer, d.File, d.Message)
+		}
+		failing = regressions
+		if !*jsonOut {
+			findings = regressions
+		}
+	}
 	if *jsonOut {
 		if err := writeJSON(stdout, findings); err != nil {
 			fmt.Fprintln(stderr, "ftlint:", err)
@@ -104,10 +137,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
-	if len(findings) > 0 {
+	if len(failing) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// relativizeFiles rewrites each finding's File to be relative to the
+// working directory when possible, so -json reports and baselines are
+// comparable across machines and checkouts.
+func relativizeFiles(findings []lint.Diagnostic) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range findings {
+		if rel, err := filepath.Rel(wd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
 }
 
 // runVetTool analyzes one package unit described by a cmd/go vet
@@ -174,5 +222,5 @@ func writeJSON(w io.Writer, findings []lint.Diagnostic) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{Schema: "mpmcs4fta-ftlint/v1", Findings: findings})
+	return enc.Encode(jsonReport{Schema: lint.ReportSchema, Findings: findings})
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -30,7 +31,8 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"ctxpoll", "weightsafe", "floatcmp", "guardedby", "spanclose", "goroutinewait"} {
+	for _, name := range []string{"ctxpoll", "weightsafe", "floatcmp", "guardedby", "spanclose", "goroutinewait",
+		"arenaref", "lockorder", "exactlyonce", "errtaxonomy"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output lacks analyzer %q", name)
 		}
@@ -98,6 +100,65 @@ func TestJSONCleanIsEmptyArray(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `"findings": []`) {
 		t.Errorf("clean -json output must carry an empty findings array, got:\n%s", out.String())
+	}
+}
+
+// TestBaselineGate drives the -baseline rollout mechanism end to end:
+// a report captured from one run fully covers the next (exit 0), an
+// empty baseline turns every finding into a regression (exit 1), and a
+// baseline entry that no longer fires is listed as resolved.
+func TestBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+
+	// Capture the golden's findings as the baseline.
+	var report, errOut bytes.Buffer
+	if code := run([]string{"-json", "-c", "weightsafe", weightsGolden}, &report, &errOut); code != 1 {
+		t.Fatalf("capture run exited %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if err := os.WriteFile(baseline, report.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same findings against their own snapshot: no regressions, exit 0.
+	var out bytes.Buffer
+	errOut.Reset()
+	if code := run([]string{"-c", "weightsafe", "-baseline", baseline, weightsGolden}, &out, &errOut); code != 0 {
+		t.Fatalf("baseline-covered run exited %d, want 0 (stdout: %s, stderr: %s)",
+			code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("baseline-covered run printed findings:\n%s", out.String())
+	}
+
+	// An empty baseline gates on absolute cleanliness again: exit 1.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"mpmcs4fta-ftlint/v1","findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-c", "weightsafe", "-baseline", empty, weightsGolden}, &out, &errOut); code != 1 {
+		t.Fatalf("empty-baseline run exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "[weightsafe]") {
+		t.Errorf("regressions were not printed:\n%s", out.String())
+	}
+
+	// A clean package against the captured baseline: every entry is
+	// resolved, reported on stderr, exit 0.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-c", "weightsafe", "-baseline", baseline, cleanPackage}, &out, &errOut); code != 0 {
+		t.Fatalf("resolved-entries run exited %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "baseline entry resolved") {
+		t.Errorf("stderr lacks the resolved-entry notices:\n%s", errOut.String())
+	}
+
+	// An unreadable baseline is a usage error: exit 2.
+	if code := run([]string{"-baseline", filepath.Join(dir, "missing.json"), cleanPackage}, &out, &errOut); code != 2 {
+		t.Fatalf("missing-baseline run exited %d, want 2", code)
 	}
 }
 

@@ -366,7 +366,7 @@ func CheckTree(ctx context.Context, tree *ft.Tree, opts Options) (*Report, error
 	switch {
 	case oracleErr == nil:
 		r.OracleProbability = oracle.Probability
-	case oracleErr == core.ErrNoCutSet || oracleErr == core.ErrZeroProbability:
+	case errors.Is(oracleErr, core.ErrNoCutSet) || errors.Is(oracleErr, core.ErrZeroProbability):
 		// Feasibility cross-checked below; probability checks skipped.
 	default:
 		return nil, fmt.Errorf("differ: BDD oracle: %w", oracleErr)
@@ -397,7 +397,7 @@ func CheckTree(ctx context.Context, tree *ft.Tree, opts Options) (*Report, error
 		if res.Status != maxsat.Optimal && res.Status != maxsat.Feasible {
 			continue
 		}
-		if oracleErr == core.ErrNoCutSet {
+		if errors.Is(oracleErr, core.ErrNoCutSet) {
 			r.diverge(CheckStatus, er.Name, "%s, but BDD oracle reports the top event cannot occur", res.Status)
 			continue
 		}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReportSchema identifies the ftlint -json report format, which is also
+// the checked-in baseline format — a report IS a valid baseline.
+const ReportSchema = "mpmcs4fta-ftlint/v1"
+
+// Baseline is a checked-in findings snapshot (the -json report format),
+// the rollout mechanism for new analyzers: CI diffs the current
+// findings against it and gates on regressions — new findings — rather
+// than absolute cleanliness, so an analyzer can land before every
+// legacy violation is fixed, while the count can only go down.
+type Baseline struct {
+	Schema   string       `json:"schema"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// LoadBaseline reads a baseline report from disk.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// DiffBaseline splits the current findings against the baseline:
+// regressions are findings not present in the baseline (these fail the
+// gate), resolved are baseline entries that no longer fire (these
+// should be removed from the checked-in file). Matching is by analyzer,
+// file and message — line numbers drift with unrelated edits, so they
+// are deliberately not part of the key — and is multiset-aware: three
+// identical findings against a baseline holding two leaves one
+// regression.
+func DiffBaseline(base *Baseline, findings []Diagnostic) (regressions, resolved []Diagnostic) {
+	counts := make(map[string]int, len(base.Findings))
+	for _, d := range base.Findings {
+		counts[baselineKey(d)]++
+	}
+	for _, d := range findings {
+		key := baselineKey(d)
+		if counts[key] > 0 {
+			counts[key]--
+			continue
+		}
+		regressions = append(regressions, d)
+	}
+	// Whatever is left in the baseline multiset was not matched by a
+	// current finding: resolved.
+	for _, d := range base.Findings {
+		key := baselineKey(d)
+		if counts[key] > 0 {
+			counts[key]--
+			resolved = append(resolved, d)
+		}
+	}
+	return regressions, resolved
+}
+
+func baselineKey(d Diagnostic) string {
+	return d.Analyzer + "|" + d.File + "|" + d.Message
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diag(analyzer, file, message string, line int) Diagnostic {
+	return Diagnostic{Analyzer: analyzer, File: file, Line: line, Message: message}
+}
+
+// TestDiffBaseline pins the gate semantics: matching ignores line
+// numbers (they drift with unrelated edits), is multiset-aware, and
+// splits cleanly into regressions (fail) and resolved (remove from the
+// checked-in file).
+func TestDiffBaseline(t *testing.T) {
+	base := &Baseline{
+		Schema: ReportSchema,
+		Findings: []Diagnostic{
+			diag("ctxpoll", "internal/sat/solver.go", "poll the context", 10),
+			diag("lockorder", "internal/obs/events.go", "channel send while holding", 20),
+			diag("lockorder", "internal/obs/events.go", "channel send while holding", 21),
+		},
+	}
+
+	findings := []Diagnostic{
+		// Same finding, different line: still baseline-covered.
+		diag("ctxpoll", "internal/sat/solver.go", "poll the context", 99),
+		// Only one of the two identical lockorder entries still fires:
+		// the other is resolved.
+		diag("lockorder", "internal/obs/events.go", "channel send while holding", 20),
+		// Brand new: a regression.
+		diag("errtaxonomy", "internal/differ/differ.go", "sentinel comparison", 7),
+	}
+
+	regressions, resolved := DiffBaseline(base, findings)
+	if len(regressions) != 1 || regressions[0].Analyzer != "errtaxonomy" {
+		t.Fatalf("regressions = %v, want the single errtaxonomy finding", regressions)
+	}
+	if len(resolved) != 1 || resolved[0].Analyzer != "lockorder" {
+		t.Fatalf("resolved = %v, want the single surplus lockorder entry", resolved)
+	}
+
+	// A third identical finding against a baseline holding two is a
+	// regression: the multiset is counted, not the set.
+	findings = append(findings, diag("lockorder", "internal/obs/events.go", "channel send while holding", 22),
+		diag("lockorder", "internal/obs/events.go", "channel send while holding", 23))
+	regressions, resolved = DiffBaseline(base, findings)
+	if len(regressions) != 2 {
+		t.Fatalf("got %d regressions, want 2 (errtaxonomy + third lockorder copy)", len(regressions))
+	}
+	if len(resolved) != 0 {
+		t.Fatalf("resolved = %v, want none once both baseline copies are matched", resolved)
+	}
+}
+
+// TestLoadBaseline round-trips the checked-in report format.
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	want := Baseline{
+		Schema:   ReportSchema,
+		Findings: []Diagnostic{diag("floatcmp", "internal/ft/ft.go", "float equality", 3)},
+	}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if got.Schema != want.Schema || len(got.Findings) != 1 || got.Findings[0].Analyzer != "floatcmp" {
+		t.Fatalf("LoadBaseline = %+v, want %+v", got, want)
+	}
+
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadBaseline on a missing file: want error, got nil")
+	}
+}

@@ -15,15 +15,18 @@ import (
 // directly below it (standalone comment line).
 const ignorePrefix = "//lint:ignore"
 
-// ignoreDirective is one parsed, well-formed suppression.
+// ignoreDirective is one parsed, well-formed suppression. used tracks
+// whether it suppressed at least one finding in the current Run, the
+// input to the unused-directive (suppression rot) check.
 type ignoreDirective struct {
-	line      int
+	pos       token.Position
 	analyzers []string // names, or ["*"]
+	used      bool
 }
 
 // directives is the per-package suppression table.
 type directives struct {
-	byLine map[string][]ignoreDirective // filename -> directives
+	byLine map[string][]*ignoreDirective // filename -> directives
 	// malformed holds the findings for directives missing a reason or
 	// analyzer list; an unauditable suppression is itself a violation.
 	malformed []Diagnostic
@@ -31,7 +34,7 @@ type directives struct {
 
 // directivesFor parses every //lint:ignore comment in the package.
 func directivesFor(fset *token.FileSet, pkg *Package) *directives {
-	d := &directives{byLine: make(map[string][]ignoreDirective)}
+	d := &directives{byLine: make(map[string][]*ignoreDirective)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -51,8 +54,8 @@ func directivesFor(fset *token.FileSet, pkg *Package) *directives {
 					})
 					continue
 				}
-				d.byLine[pos.Filename] = append(d.byLine[pos.Filename], ignoreDirective{
-					line:      pos.Line,
+				d.byLine[pos.Filename] = append(d.byLine[pos.Filename], &ignoreDirective{
+					pos:       pos,
 					analyzers: strings.Split(names, ","),
 				})
 			}
@@ -62,18 +65,61 @@ func directivesFor(fset *token.FileSet, pkg *Package) *directives {
 }
 
 // suppresses reports whether a well-formed directive covers the
-// finding: same file, directive on the finding's line or the line
-// above, analyzer named (or "*").
+// finding — same file, directive on the finding's line or the line
+// above, analyzer named (or "*") — and marks the covering directive
+// used.
 func (d *directives) suppresses(diag Diagnostic) bool {
 	for _, dir := range d.byLine[diag.Pos.Filename] {
-		if dir.line != diag.Pos.Line && dir.line != diag.Pos.Line-1 {
+		if dir.pos.Line != diag.Pos.Line && dir.pos.Line != diag.Pos.Line-1 {
 			continue
 		}
 		for _, name := range dir.analyzers {
 			if name == "*" || name == diag.Analyzer {
+				dir.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// unused returns a finding for every directive that suppressed nothing
+// even though all the analyzers it names were part of the run ("*"
+// needs the full suite): the violation it once covered is gone, and a
+// stale directive would silently swallow the next real finding on its
+// line. Directives naming analyzers outside the run are skipped — a
+// `-c` subset run cannot tell whether they still fire.
+func (d *directives) unused(ran map[string]bool, fullSuite bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dirs := range d.byLine {
+		for _, dir := range dirs {
+			if dir.used || !coveredByRun(dir.analyzers, ran, fullSuite) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "ignore",
+				Pos:      dir.pos,
+				Message: "unused //lint:ignore directive: no " + strings.Join(dir.analyzers, ",") +
+					" finding on this or the next line; remove it (suppression rot hides the next real finding)",
+			})
+		}
+	}
+	return out
+}
+
+// coveredByRun reports whether every analyzer the directive names was
+// part of this run, so "unused" is a proof rather than a guess.
+func coveredByRun(names []string, ran map[string]bool, fullSuite bool) bool {
+	for _, name := range names {
+		if name == "*" {
+			if !fullSuite {
+				return false
+			}
+			continue
+		}
+		if !ran[name] {
+			return false
+		}
+	}
+	return true
 }

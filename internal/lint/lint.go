@@ -4,7 +4,13 @@
 // data) plus the analyzers that enforce this codebase's solver
 // invariants — context polling in engine loops, checked weight
 // arithmetic, epsilon-based probability comparison, mutex-guarded
-// field access, span lifecycle, and goroutine joining.
+// field access, span lifecycle, goroutine joining, arena reference
+// lifetimes, lock ordering, exactly-once result delivery and the
+// serve-boundary error taxonomy. The second-generation analyzers
+// (arenaref, lockorder, exactlyonce, errtaxonomy) share one
+// interprocedural function-summary pass (summary.go): per-function
+// may-trigger-arena-GC, may-block and acquires-mutex properties,
+// computed as a fixed point over the module call graph.
 //
 // The analyzers encode invariants whose violations were previously
 // found only by fuzzing or production incidents (see PR 4: a CDCL loop
@@ -49,6 +55,12 @@ type Pass struct {
 	// Pkg (its module dependencies included), for interprocedural
 	// reasoning. In vettool mode only Pkg itself is present.
 	All map[string]*Package
+	// Summaries holds the per-function interprocedural summaries
+	// (may-GC, may-block, acquires) computed once per Run over All; the
+	// second-generation analyzers consult it instead of re-walking the
+	// call graph. In vettool mode it covers the single package, so
+	// cross-package properties degrade to "unknown" (no finding).
+	Summaries *Summaries
 
 	diags *[]Diagnostic
 }
@@ -82,7 +94,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the six
+// intra-procedural first-generation analyzers, then the four
+// summary-driven second-generation ones.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		CtxPoll,
@@ -91,6 +105,10 @@ func Analyzers() []*Analyzer {
 		GuardedBy,
 		SpanClose,
 		GoroutineWait,
+		ArenaRef,
+		LockOrder,
+		ExactlyOnce,
+		ErrTaxonomy,
 	}
 }
 
@@ -101,10 +119,11 @@ func Analyzers() []*Analyzer {
 // analyzers use it for cross-package reasoning but findings are only
 // reported for targets.
 func Run(fset *token.FileSet, targets []*Package, all map[string]*Package, analyzers []*Analyzer) []Diagnostic {
+	sums := summarize(all)
 	var diags []Diagnostic
 	for _, pkg := range targets {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, All: all, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, All: all, Summaries: sums, diags: &diags}
 			a.Run(pass)
 		}
 	}
@@ -113,9 +132,11 @@ func Run(fset *token.FileSet, targets []*Package, all map[string]*Package, analy
 	// directives as findings of their own.
 	var kept []Diagnostic
 	byFile := make(map[string]*directives)
+	var allDirs []*directives
 	for _, pkg := range targets {
 		dirs := directivesFor(fset, pkg)
 		kept = append(kept, dirs.malformed...)
+		allDirs = append(allDirs, dirs)
 		for _, f := range pkg.Files {
 			byFile[fset.Position(f.Pos()).Filename] = dirs
 		}
@@ -125,6 +146,24 @@ func Run(fset *token.FileSet, targets []*Package, all map[string]*Package, analy
 			continue
 		}
 		kept = append(kept, d)
+	}
+	// Suppression rot: a well-formed directive that suppressed nothing
+	// (and whose analyzers all ran, so that is a proof) is a finding —
+	// it documents a violation that no longer exists and would silently
+	// swallow the next real one.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range Analyzers() {
+		if !ran[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	for _, dirs := range allDirs {
+		kept = append(kept, dirs.unused(ran, fullSuite)...)
 	}
 	for i := range kept {
 		kept[i].File = kept[i].Pos.Filename

@@ -11,10 +11,19 @@ func TestWeightSafe(t *testing.T)    { runAnalyzerTest(t, WeightSafe, "weights")
 func TestGuardedBy(t *testing.T)     { runAnalyzerTest(t, GuardedBy, "guarded") }
 func TestSpanClose(t *testing.T)     { runAnalyzerTest(t, SpanClose, "spans") }
 func TestGoroutineWait(t *testing.T) { runAnalyzerTest(t, GoroutineWait, "portfolio") }
+func TestArenaRef(t *testing.T)      { runAnalyzerTest(t, ArenaRef, "arena") }
+func TestLockOrder(t *testing.T)     { runAnalyzerTest(t, LockOrder, "sched") }
+func TestExactlyOnce(t *testing.T)   { runAnalyzerTest(t, ExactlyOnce, "decomp") }
+func TestErrTaxonomy(t *testing.T)   { runAnalyzerTest(t, ErrTaxonomy, "errtax", "serve") }
 
 // TestIgnoreDirectives proves the suppression contract: reasons are
 // mandatory, coverage is one line, matching is by analyzer name or "*".
 func TestIgnoreDirectives(t *testing.T) { runAnalyzerTest(t, WeightSafe, "ignore") }
+
+// TestUnusedDirectives pins the suppression-rot finding format and the
+// subset-run semantics: only directives whose every named analyzer ran
+// can be proven unused ("*" needs the full suite).
+func TestUnusedDirectives(t *testing.T) { runAnalyzerTest(t, WeightSafe, "unused") }
 
 // TestScopedAnalyzersSkipForeignPackages runs the scoped analyzers
 // against goldens full of violations that live OUTSIDE their scope: no
@@ -24,7 +33,7 @@ func TestScopedAnalyzersSkipForeignPackages(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	for _, a := range []*Analyzer{CtxPoll, FloatCmp, GoroutineWait} {
+	for _, a := range []*Analyzer{CtxPoll, FloatCmp, GoroutineWait, ArenaRef, LockOrder, ExactlyOnce} {
 		var diags []Diagnostic
 		for _, pkg := range targets {
 			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, All: all, diags: &diags}
@@ -39,7 +48,8 @@ func TestScopedAnalyzersSkipForeignPackages(t *testing.T) {
 // TestAnalyzersRegistered pins the suite composition ftlint -list and
 // the CI job advertise.
 func TestAnalyzersRegistered(t *testing.T) {
-	wantNames := []string{"ctxpoll", "weightsafe", "floatcmp", "guardedby", "spanclose", "goroutinewait"}
+	wantNames := []string{"ctxpoll", "weightsafe", "floatcmp", "guardedby", "spanclose", "goroutinewait",
+		"arenaref", "lockorder", "exactlyonce", "errtaxonomy"}
 	got := Analyzers()
 	if len(got) != len(wantNames) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(wantNames))

@@ -3,6 +3,7 @@ package lint
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -207,7 +208,7 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp listedPackage
-		if err := dec.Decode(&lp); err == io.EOF {
+		if err := dec.Decode(&lp); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("lint: decode go list output: %w", err)
@@ -240,7 +241,7 @@ func runGo(dir string, args []string) ([]byte, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		return nil, fmt.Errorf("lint: go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
 	}
 	return out, nil
 }

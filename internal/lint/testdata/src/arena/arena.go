@@ -1,0 +1,90 @@
+// Package arena is the arenaref golden: refs die at compaction, views
+// die at any growth, and the invalidation is interprocedural — a call
+// whose summary is may-GC kills refs held across it.
+package arena
+
+type lit uint32
+
+type clauseRef uint32
+
+// clauseArena mirrors the sat arena's structural signature (alloc,
+// lits, reloc) so isArenaType matches it.
+type clauseArena struct {
+	data []lit
+}
+
+func (a *clauseArena) alloc(lits []lit) clauseRef {
+	r := clauseRef(len(a.data))
+	a.data = append(a.data, lit(len(lits)))
+	a.data = append(a.data, lits...)
+	return r
+}
+
+func (a *clauseArena) lits(r clauseRef) []lit {
+	n := int(a.data[r])
+	return a.data[int(r)+1 : int(r)+1+n]
+}
+
+func (a *clauseArena) reloc(r *clauseRef, to *clauseArena) {
+	*r = to.alloc(a.lits(*r))
+}
+
+type solver struct {
+	ca   clauseArena
+	refs []clauseRef
+}
+
+// garbageCollect is the compaction seed: it calls reloc, so its summary
+// is may-GC, and every caller holding refs across it inherits the
+// hazard.
+func (s *solver) garbageCollect() {
+	to := clauseArena{}
+	for i := range s.refs {
+		s.ca.reloc(&s.refs[i], &to)
+	}
+	s.ca = to
+}
+
+// refAcrossGC is the core true positive: the ref predates a compaction
+// (via the may-GC summary of garbageCollect), so using it afterwards
+// indexes rewritten storage.
+func (s *solver) refAcrossGC(c []lit) int {
+	cr := s.ca.alloc(c)
+	s.garbageCollect()
+	return int(cr) // want "arena ref cr is stale"
+}
+
+// viewAcrossAlloc: a lits view dies at a mere alloc — append may move
+// the backing array — even though refs survive growth.
+func (s *solver) viewAcrossAlloc(r clauseRef, c []lit) lit {
+	view := s.ca.lits(r)
+	s.ca.alloc(c)
+	return view[0] // want "view view is stale"
+}
+
+// refAcrossAlloc is the negative for refs: indices survive growth, so a
+// ref crossing an alloc is fine (this is AddClause's shape).
+func (s *solver) refAcrossAlloc(c []lit) clauseRef {
+	cr := s.ca.alloc(c)
+	s.ca.alloc(c)
+	s.refs = append(s.refs, cr)
+	return cr
+}
+
+// refetchAfterGC is the negative for the re-fetch idiom: obtaining a
+// fresh view after the invalidating call clears the taint.
+func (s *solver) refetchAfterGC(r clauseRef, c []lit) lit {
+	view := s.ca.lits(r)
+	_ = view[0]
+	s.ca.alloc(c)
+	view = s.ca.lits(r)
+	return view[0]
+}
+
+// suppressed: a provably-safe crossing carries an auditable reason.
+func (s *solver) suppressed(c []lit) int {
+	cr := s.ca.alloc(c)
+	s.garbageCollect()
+	//lint:ignore arenaref golden: exercising the suppression path for a ref the GC provably forwards
+	return int(cr)
+}

@@ -1,0 +1,63 @@
+// Package errtax is the errtaxonomy golden for the module-wide rules:
+// sentinel comparisons must use errors.Is, and wrapping must use %w.
+package errtax
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrNoCutSet mirrors the core sentinel convention: a package-level
+// error variable that layers above wrap with context.
+var ErrNoCutSet = errors.New("no cut set")
+
+var errBudget = errors.New("budget exhausted")
+
+func compareEq(err error) bool {
+	return err == ErrNoCutSet // want `sentinel comparison == ErrNoCutSet`
+}
+
+func compareNeq(err error) bool {
+	return err != errBudget // want `sentinel comparison != errBudget`
+}
+
+func compareImported(err error) bool {
+	return err == io.EOF // want `sentinel comparison == io.EOF`
+}
+
+// compareIs is the negative: errors.Is sees through wrapping.
+func compareIs(err error) bool {
+	return errors.Is(err, ErrNoCutSet)
+}
+
+// compareNil is the negative for nil checks: nil is not a sentinel.
+func compareNil(err error) bool {
+	return err == nil
+}
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("solve: %v", err) // want `error formatted with %v flattens it to text`
+}
+
+func wrapWithS(n int, err error) error {
+	return fmt.Errorf("node %d: %s", n, err) // want `error formatted with %s flattens it to text`
+}
+
+// wrapWithW is the negative: %w preserves the chain (and since Go 1.20,
+// several %w verbs may appear in one format).
+func wrapWithW(err error) error {
+	return fmt.Errorf("solve: %w: %w", ErrNoCutSet, err)
+}
+
+// wrapText is the negative for non-error arguments: %v on a string is
+// ordinary formatting.
+func wrapText(name string) error {
+	return fmt.Errorf("unknown gate %v", name)
+}
+
+// suppressed: a deliberate flattening at a display-only boundary.
+func suppressed(err error) string {
+	//lint:ignore errtaxonomy golden: log line, the chain is preserved by the caller
+	return fmt.Errorf("render: %v", err).Error()
+}

@@ -37,9 +37,11 @@ func wrongAnalyzer(totalWeight, w int64) int64 {
 	return totalWeight
 }
 
-// tooFarAway: directives reach exactly one line down, no further.
+// tooFarAway: directives reach exactly one line down, no further — and
+// a directive that covers nothing is itself reported as suppression
+// rot.
 func tooFarAway(totalWeight, w int64) int64 {
-	//lint:ignore weightsafe bounded by the validated instance total
+	/* want "unused" */ //lint:ignore weightsafe bounded by the validated instance total
 
 	totalWeight += w // want "unchecked"
 	return totalWeight

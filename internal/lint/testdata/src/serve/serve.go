@@ -1,0 +1,50 @@
+// Package serve is the errtaxonomy golden for the boundary rule: every
+// writeJSON status code must come from the HTTPStatus taxonomy table.
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type document struct {
+	Status string `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc *document) {
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+// HTTPStatus mirrors the status.go table: one verdict, one code.
+func HTTPStatus(status string) int {
+	switch status {
+	case "OPTIMAL":
+		return 200
+	default:
+		return 500
+	}
+}
+
+// rawLiteral is the true positive: a hand-written code can drift from
+// the table.
+func rawLiteral(w http.ResponseWriter) {
+	writeJSON(w, 200, &document{Status: "OPTIMAL"}) // want "response status bypasses the taxonomy"
+}
+
+// httpConst is a positive too: http.StatusOK bypasses the table just as
+// thoroughly as 200 does.
+func httpConst(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, &document{Status: "OPTIMAL"}) // want "response status bypasses the taxonomy"
+}
+
+// viaTable is the negative: the code is derived from the verdict.
+func viaTable(w http.ResponseWriter, status string) {
+	writeJSON(w, HTTPStatus(status), &document{Status: status})
+}
+
+// suppressed: a health endpoint with no verdict to map.
+func suppressed(w http.ResponseWriter) {
+	//lint:ignore errtaxonomy golden: liveness probe has no taxonomy verdict
+	writeJSON(w, 204, &document{})
+}

@@ -1,0 +1,35 @@
+// Package unused pins the suppression-rot contract: a directive that
+// suppresses nothing while every analyzer it names ran is itself a
+// finding, with subset runs ("-c") giving stale directives the benefit
+// of the doubt.
+package unused
+
+// consumed is the negative: the directive covers a live weightsafe
+// finding, so it is used.
+func consumed(totalWeight, w int64) int64 {
+	//lint:ignore weightsafe bounded by the validated instance total
+	totalWeight += w
+	return totalWeight
+}
+
+// rotted is the true positive, pinning the exact finding format: the
+// violation this directive once covered is gone.
+func rotted(totalWeight, w int64) int64 {
+	/* want "unused //lint:ignore directive: no weightsafe finding on this or the next line; remove it \\(suppression rot hides the next real finding\\)" */ //lint:ignore weightsafe the add below used to overflow
+	return totalWeight
+}
+
+// outsideRun is the negative for subset runs: this test runs weightsafe
+// only, so whether a ctxpoll finding would fire here is unknowable and
+// the directive is left alone.
+func outsideRun(totalWeight, w int64) int64 {
+	//lint:ignore ctxpoll polling loop was removed, pending full-suite confirmation
+	return totalWeight
+}
+
+// wildcardOutsideRun: "*" needs the full suite to be provably unused —
+// a single-analyzer run says nothing about the other nine.
+func wildcardOutsideRun(totalWeight, w int64) int64 {
+	//lint:ignore * covered a finding only the full suite can re-derive
+	return totalWeight
+}

@@ -172,7 +172,7 @@ func (st *bbState) search(ctx context.Context, depth int) error {
 	st.steps++
 	if st.steps&511 == 0 {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("%w: %v", sat.ErrInterrupted, err)
+			return fmt.Errorf("%w: %w", sat.ErrInterrupted, err)
 		}
 		// Refresh the sibling incumbent at the same cadence as the
 		// cancellation check: the bound manager takes a lock, so per-node

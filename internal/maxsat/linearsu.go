@@ -131,7 +131,7 @@ func (l *LinearSU) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog P
 	)
 	for {
 		if err := ctx.Err(); err != nil {
-			return interrupted(fmt.Errorf("%w: %v", sat.ErrInterrupted, err))
+			return interrupted(fmt.Errorf("%w: %w", sat.ErrInterrupted, err))
 		}
 		var callStart time.Time
 		if satSecs != nil {

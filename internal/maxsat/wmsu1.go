@@ -117,7 +117,7 @@ func (w *WMSU1) SolveWithProgress(ctx context.Context, inst *cnf.WCNF, prog Prog
 	}
 	for {
 		if err := ctx.Err(); err != nil {
-			return interrupted(fmt.Errorf("%w: %v", sat.ErrInterrupted, err))
+			return interrupted(fmt.Errorf("%w: %w", sat.ErrInterrupted, err))
 		}
 		assumps := make([]cnf.Lit, 0, len(softs))
 		selToIdx := make(map[cnf.Lit]int, len(softs))

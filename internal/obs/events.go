@@ -107,6 +107,7 @@ func (b *EventBus) Subscribe(buffer int) *Subscription {
 		replay = replay[len(replay)-buffer:]
 	}
 	for _, ev := range replay {
+		//lint:ignore lockorder replay is pre-truncated to the buffer capacity and the channel is not yet registered, so every send fits without blocking
 		sub.ch <- ev // fits by construction: the channel is empty
 	}
 	b.subs = append(b.subs, sub)

@@ -113,7 +113,7 @@ func (d *Dpll) dpll(ctx context.Context, assign []lbool) (Status, error) {
 	d.steps++
 	if d.steps&255 == 0 {
 		if err := ctx.Err(); err != nil {
-			return Unknown, fmt.Errorf("%w: %v", ErrInterrupted, err)
+			return Unknown, fmt.Errorf("%w: %w", ErrInterrupted, err)
 		}
 	}
 

@@ -1182,7 +1182,7 @@ func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error
 
 			if conflicts&1023 == 0 {
 				if err := ctx.Err(); err != nil {
-					return Unknown, fmt.Errorf("%w: %v", ErrInterrupted, err)
+					return Unknown, fmt.Errorf("%w: %w", ErrInterrupted, err)
 				}
 				s.maybeHeartbeat()
 			}
@@ -1226,7 +1226,7 @@ func (s *Solver) search(ctx context.Context, conflictLimit int64) (Status, error
 			// propagation rounds — poll cancellation here too.
 			if s.stats.Decisions&1023 == 0 {
 				if err := ctx.Err(); err != nil {
-					return Unknown, fmt.Errorf("%w: %v", ErrInterrupted, err)
+					return Unknown, fmt.Errorf("%w: %w", ErrInterrupted, err)
 				}
 				s.maybeHeartbeat()
 			}

@@ -168,7 +168,6 @@ func (s *Server) Start(addr string) (string, error) {
 	s.srv = srv
 	s.mu.Unlock()
 	s.wg.Add(1)
-	//lint:ignore goroutinewait serve goroutine lives until Close shuts the listener; Close joins it via wg
 	go func() {
 		defer s.wg.Done()
 		srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
@@ -265,7 +264,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, topk bool) 
 	})
 	if submitted != nil {
 		if errors.Is(submitted, sched.ErrClosed) {
-			writeJSON(w, http.StatusServiceUnavailable, &Document{Hash: hash, Status: StatusError,
+			writeJSON(w, HTTPStatus(StatusUnavailable), &Document{Hash: hash, Status: StatusUnavailable,
 				Error: "server is shutting down"})
 			return
 		}
@@ -425,7 +424,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	}
 	doc, ok := s.cache.get(key)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, &Document{Hash: hash, Status: StatusError,
+		writeJSON(w, HTTPStatus(StatusNotFound), &Document{Hash: hash, Status: StatusNotFound,
 			Error: "no cached solution for this hash"})
 		return
 	}

@@ -529,6 +529,8 @@ func TestStatusTable(t *testing.T) {
 		{StatusNoAnswer, 504, ExitNoAnswer},
 		{StatusInvalid, 400, ExitUsage},
 		{StatusError, 500, ExitError},
+		{StatusUnavailable, 503, ExitError},
+		{StatusNotFound, 404, ExitError},
 	}
 	for _, row := range rows {
 		if got := HTTPStatus(row.status); got != row.http {
@@ -541,7 +543,7 @@ func TestStatusTable(t *testing.T) {
 	if !Definitive(StatusOptimal) || !Definitive(StatusInfeasible) {
 		t.Error("OPTIMAL and INFEASIBLE must be definitive")
 	}
-	for _, s := range []string{StatusFeasible, StatusNoAnswer, StatusInvalid, StatusError} {
+	for _, s := range []string{StatusFeasible, StatusNoAnswer, StatusInvalid, StatusError, StatusUnavailable, StatusNotFound} {
 		if Definitive(s) {
 			t.Errorf("%s must not be definitive (cacheable)", s)
 		}

@@ -15,6 +15,12 @@ import "mpmcs4fta/internal/maxsat"
 //	deadline, nothing to report   NO_ANSWER     504    4                 0 ("UNKNOWN")
 //	malformed input / usage       INVALID       400    2                 0
 //	internal failure              ERROR         500    1                 0
+//	server shutting down          UNAVAILABLE   503    1                 0
+//	no cached result (lookup)     NOT_FOUND     404    1                 0
+//
+// UNAVAILABLE and NOT_FOUND are service verdicts about the request,
+// not the tree: they only appear on the HTTP surface (the CLIs map
+// them to the generic error exit) and are never definitive.
 //
 // (*) INFEASIBLE is a successful, definitive answer about the tree —
 // the service returns 200 with an explicit empty-cut-set document, not
@@ -30,6 +36,12 @@ const (
 	StatusNoAnswer   = "NO_ANSWER"
 	StatusInvalid    = "INVALID"
 	StatusError      = "ERROR"
+	// StatusUnavailable is the shutdown verdict: the pool no longer
+	// accepts work, so the request was refused, not answered.
+	StatusUnavailable = "UNAVAILABLE"
+	// StatusNotFound is the cache-lookup miss verdict: the service
+	// remembers results, not trees, and this hash has none.
+	StatusNotFound = "NOT_FOUND"
 )
 
 // mpmcs4fta process exit codes, one per taxonomy row.
@@ -69,6 +81,10 @@ func HTTPStatus(status string) int {
 		return 504
 	case StatusInvalid:
 		return 400
+	case StatusUnavailable:
+		return 503
+	case StatusNotFound:
+		return 404
 	default:
 		return 500
 	}
